@@ -1,0 +1,91 @@
+"""Table II — equivalence checking of the bug-free SDK kernel pairs.
+
+Each benchmark is one cell: the non-parameterized encoding at n threads
+(optionally with the ``+C.`` input concretization the paper applies at
+n >= 16) or the parameterized encoding (``-C.`` fully symbolic / ``+C.``
+pinned geometry).  The module prints the assembled table at the end.
+
+Expected shape (the paper's, reproduced in EXPERIMENTS.md):
+
+* non-parameterized times grow steeply with n and bit width; large cells
+  hit T.O;
+* parameterized +C. is fast at every width; parameterized -C. is fast for
+  Reduction and T.O for Transpose (nonlinear 2-D addressing), exactly as in
+  the paper's Table II.
+
+The quick profile below covers 8-bit rows with n up to 8 plus the
+parameterized cells; set ``PUGPARA_BENCH_FULL=1`` (and a larger
+``PUGPARA_BENCH_TIMEOUT``) for all widths and n up to 32.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import format_cell
+from repro.bench.tables import table2_cell
+from repro.check.result import Verdict
+
+FULL = os.environ.get("PUGPARA_BENCH_FULL") == "1"
+
+TITLE = ("Table II — equivalence checking, bug-free kernels "
+         "(* = not equivalent; T.O = budget exhausted)")
+HEADERS = ["Kernel", "np n=4", "np n=8", "np n=16", "np n=16 +C",
+           "np n=32 +C", "param -C", "param +C"]
+
+if FULL:
+    CELLS = [
+        *[("Transpose", w, mode, n)
+          for w in (8, 16, 32)
+          for mode, n in [("nonparam", 4), ("nonparam", 8), ("nonparam", 16),
+                          ("nonparam+C", 16), ("nonparam+C", 32),
+                          ("param", None), ("param+C", None)]],
+        *[("Reduction", w, mode, n)
+          for w in (8, 12)
+          for mode, n in [("nonparam", 4), ("nonparam", 8), ("nonparam", 16),
+                          ("nonparam+C", 16), ("nonparam+C", 32),
+                          ("param", None), ("param+C", None)]],
+    ]
+else:
+    CELLS = [
+        ("Transpose", 8, "nonparam", 4),
+        ("Transpose", 8, "nonparam", 8),       # non-square: the '*' row
+        ("Transpose", 8, "nonparam+C", 16),
+        ("Transpose", 8, "param", None),       # expected T.O (paper agrees)
+        ("Transpose", 8, "param+C", None),
+        ("Transpose", 16, "param+C", None),
+        ("Reduction", 8, "nonparam", 4),
+        ("Reduction", 8, "nonparam", 8),
+        ("Reduction", 8, "param", None),
+        ("Reduction", 8, "param+C", None),
+        ("Reduction", 12, "param", None),
+    ]
+
+
+def _column(mode: str, n: int | None) -> str:
+    if mode == "nonparam":
+        return f"np n={n}"
+    if mode == "nonparam+C":
+        return f"np n={n} +C"
+    return "param -C" if mode == "param" else "param +C"
+
+
+@pytest.mark.parametrize("pair,width,mode,n", CELLS,
+                         ids=[f"{p}-{w}b-{_column(m, n)}"
+                              for p, w, m, n in CELLS])
+def test_table2_cell(benchmark, table_acc, pair, width, mode, n):
+    acc = table_acc(TITLE, HEADERS)
+    cell = benchmark.pedantic(
+        lambda: table2_cell(pair, width, mode, n), rounds=1, iterations=1)
+    acc.put(f"{pair} ({width}b)", _column(mode, n), cell)
+    # Bug-free rows must never report a bug on a square/pow2 configuration;
+    # the n=8 transpose row is the paper's '*' (non-square) case.
+    if pair == "Transpose" and mode == "nonparam" and n == 8:
+        assert cell.verdict in (Verdict.BUG, Verdict.TIMEOUT,
+                                Verdict.UNKNOWN)
+    else:
+        assert cell.verdict in (Verdict.VERIFIED, Verdict.TIMEOUT,
+                                Verdict.UNKNOWN), \
+            f"unexpected verdict {cell.verdict} for a bug-free pair"

@@ -1,0 +1,69 @@
+"""Table III — equivalence checking of *buggy versions*.
+
+Bugs are injected exactly as the paper describes ("modifying the addresses
+of accesses on shared variables or the guards of conditional statements"):
+the target kernel of each pair gets a single-site address mutation.  The
+non-parameterized checker hunts the bug at concrete n; the parameterized
+checker uses fast bug hunting (Section IV-D).
+
+Expected shape: the parameterized method finds each bug in well under a
+second, independent of n; the non-parameterized method degrades as n grows
+(the paper's Table III).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.tables import table3_cell
+from repro.check.result import Verdict
+
+FULL = os.environ.get("PUGPARA_BENCH_FULL") == "1"
+
+TITLE = ("Table III — equivalence checking, buggy versions "
+         "(* = bug found and replay-confirmed)")
+HEADERS = ["Kernel", "np n=4", "np n=8", "np n=16", "param"]
+
+if FULL:
+    CELLS = [
+        *[("Transpose", w, mode, n)
+          for w in (16, 32)
+          for mode, n in [("nonparam", 4), ("nonparam", 8), ("nonparam", 16),
+                          ("param", None)]],
+        *[("Reduction", w, mode, n)
+          for w in (8, 16, 32)
+          for mode, n in [("nonparam", 4), ("nonparam", 8), ("nonparam", 16),
+                          ("param", None)]],
+    ]
+else:
+    CELLS = [
+        ("Transpose", 8, "nonparam", 4),
+        ("Transpose", 8, "nonparam", 16),
+        ("Transpose", 8, "param", None),
+        ("Transpose", 16, "param", None),
+        ("Reduction", 8, "nonparam", 4),
+        ("Reduction", 8, "nonparam", 8),
+        ("Reduction", 8, "param", None),
+        ("Reduction", 16, "param", None),
+    ]
+
+
+def _column(mode: str, n: int | None) -> str:
+    return f"np n={n}" if mode == "nonparam" else "param"
+
+
+@pytest.mark.parametrize("pair,width,mode,n", CELLS,
+                         ids=[f"{p}-{w}b-{_column(m, n)}"
+                              for p, w, m, n in CELLS])
+def test_table3_cell(benchmark, table_acc, pair, width, mode, n):
+    acc = table_acc(TITLE, HEADERS)
+    cell = benchmark.pedantic(
+        lambda: table3_cell(pair, width, mode, n), rounds=1, iterations=1)
+    acc.put(f"{pair} ({width}b)", _column(mode, n), cell)
+    assert cell.verdict in (Verdict.BUG, Verdict.TIMEOUT, Verdict.UNKNOWN), \
+        "a buggy pair must never verify"
+    if mode == "param":
+        # the paper's headline: parameterized bug hunting is fast
+        assert cell.verdict is Verdict.BUG

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one cell of a paper table through the real
+checkers.  ``benchmark.pedantic(rounds=1)`` is used throughout: a
+verification query is a long-running deterministic computation, not a
+microbenchmark, and the paper's tables are single measurements too.
+
+Set ``PUGPARA_BENCH_TIMEOUT=300`` for the paper's five-minute budget (the
+default of 20 s keeps a full run quick; T.O cells simply time out sooner —
+the table *shape* is unaffected).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import TableAccumulator
+
+
+@pytest.fixture(scope="module")
+def table_acc(request):
+    """A per-module table accumulator that prints itself when the module's
+    benchmarks are done."""
+    acc_holder: dict[str, TableAccumulator] = {}
+
+    def get(title: str, headers: list[str]) -> TableAccumulator:
+        if "acc" not in acc_holder:
+            acc_holder["acc"] = TableAccumulator(title=title, headers=headers)
+        return acc_holder["acc"]
+
+    yield get
+    if "acc" in acc_holder:
+        acc_holder["acc"].dump()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fast bug hunting (Section IV-D) across a mutant population.
+
+Injects the paper's two bug classes into the optimized transpose —
+address off-by-ones and guard mutations — then hunts each with the
+parameterized checker in bughunt mode (frames skipped: quick, still no
+false alarms thanks to counterexample replay).
+
+Run:  python examples/bug_hunting.py
+"""
+
+from repro import ParamOptions, check_kernel, transpose_assumptions
+from repro.check import check_equivalence_param
+from repro.kernels import all_mutants, load_pair
+
+CONCRETE = {"bdim": (2, 2, 1), "gdim": (2, 2),
+            "scalars": {"width": 4, "height": 4}}
+
+
+def main() -> None:
+    (_, naive), (opt_kernel, _) = load_pair("Transpose")
+    mutants = all_mutants(opt_kernel)
+    print(f"injected {len(mutants)} single-site mutations into "
+          f"{opt_kernel.name!r}\n")
+
+    found = verified = inconclusive = 0
+    for mutant in mutants:
+        info = check_kernel(mutant.kernel)
+        # address bugs: fully parameterized fast hunt;
+        # guard bugs only bite off covering configs — use +C there.
+        is_guard = mutant.label.startswith("guard")
+        outcome = check_equivalence_param(
+            naive, info, width=8,
+            assumption_builder=transpose_assumptions,
+            concretize=CONCRETE if is_guard else None,
+            options=ParamOptions(timeout=60, bughunt=not is_guard))
+        verdict = outcome.verdict.value
+        mark = {"bug": "FOUND", "verified": "equivalent"}.get(verdict,
+                                                              verdict)
+        print(f"  {mutant.label:12s} {mutant.description[:52]:54s} "
+              f"{mark:12s} ({outcome.elapsed:.2f}s)")
+        if verdict == "bug":
+            found += 1
+            cex = outcome.counterexample
+            print(f"{'':14s}counterexample: {cex.describe()[:90]}")
+        elif verdict == "verified":
+            verified += 1
+        else:
+            inconclusive += 1
+
+    print(f"\nfound {found} real bugs, {verified} mutants proved harmless "
+          f"at this configuration, {inconclusive} inconclusive")
+    print("(every FOUND was confirmed by replaying both kernels on the")
+    print(" reference interpreter — no false alarms, as the paper promises)")
+    assert found >= 4
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: parse a kernel, run it concretely, and verify it symbolically.
+
+This walks the three layers of the library on a tiny kernel:
+
+1. the DSL front end (parse + static checks),
+2. the reference interpreter (concrete execution, race detection,
+   postcondition checking),
+3. the parameterized checker (a proof for ANY number of threads).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LaunchConfig, check_functional_param, check_kernel, check_postconditions,
+    check_races, parse_kernel, run_kernel,
+)
+
+KERNEL = """
+// Every thread doubles its element.  The postcondition pins the result for
+// every index i (free variables in postconditions are universally
+// quantified, as in the paper's transpose example).
+__global__ void doubleAll(int *data, int n) {
+  int gid = bid.x * bdim.x + tid.x;
+  if (gid < n) {
+    data[gid] = data[gid] * 2;
+  }
+}
+"""
+
+
+def main() -> None:
+    # -- 1. parse and type-check ------------------------------------------
+    kernel = parse_kernel(KERNEL)
+    info = check_kernel(kernel)
+    print(f"parsed kernel {kernel.name!r}: "
+          f"arrays={list(info.arrays)}, scalars={info.scalar_params}")
+
+    # -- 2. run it concretely ---------------------------------------------
+    config = LaunchConfig(bdim=(4, 1, 1), gdim=(2, 1), width=16)
+    inputs = {"data": [3, 1, 4, 1, 5, 9, 2, 6], "n": 8}
+    result = run_kernel(info, config, inputs)
+    print("concrete run:", [result.globals["data"][i] for i in range(8)])
+    assert not result.races, "race detected!"
+
+    # -- 3. verify it for ANY thread count ---------------------------------
+    # The parameterized race check models a single symbolic thread pair: the
+    # verdict covers every launch geometry satisfying the stated
+    # assumptions.  (Without them the checker rightly finds real races:
+    # with a 2-D block, threads sharing tid.x collide on data[gid]; with a
+    # huge grid, gid wraps the 8-bit word.  Try dropping them!)  The bounds
+    # keep bid.x*bdim.x+tid.x inside the 8-bit word.
+    def launch_assumptions(geometry, inputs):
+        return [geometry.one_dimensional(),
+                geometry.bdim["x"].ule(16), geometry.gdim["x"].ule(16)]
+
+    outcome = check_races(info, width=8,
+                          assumption_builder=launch_assumptions, timeout=120)
+    print(f"parameterized race check: {outcome.verdict} "
+          f"({outcome.elapsed:.2f}s, {outcome.vcs_checked} queries)")
+    assert outcome.verdict.value == "verified"
+
+    print("OK — race-free for every 1-D launch up to 256 threads.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The paper's flagship example (Section II): is the memory-coalescing
+optimized matrix transpose equivalent to the naive one?
+
+Three acts:
+
+1. **verify** the pair under the valid-configuration assumptions (square
+   block, covering grid) — a proof covering every configuration that
+   satisfies them;
+2. **reveal the hidden assumption** (Section IV-B: "PUGpara reports a bug
+   when the block is not square"): drop squareness, get a replay-confirmed
+   counterexample;
+3. **compare with the non-parameterized baseline** (Section III) at a few
+   concrete thread counts.
+
+Run:  python examples/transpose_equivalence.py
+"""
+
+from functools import partial
+
+from repro import LaunchConfig, ParamOptions, transpose_assumptions
+from repro.check import check_equivalence_nonparam, check_equivalence_param
+from repro.kernels import load_pair
+
+CONCRETE = {"bdim": (2, 2, 1), "gdim": (2, 2),
+            "scalars": {"width": 4, "height": 4}}
+
+
+def main() -> None:
+    (_, naive), (_, optimized) = load_pair("Transpose")
+
+    # -- act 1: the proof ---------------------------------------------------
+    print("1. parameterized equivalence (square block, +C geometry):")
+    outcome = check_equivalence_param(
+        naive, optimized, width=8,
+        assumption_builder=transpose_assumptions,
+        concretize=CONCRETE,
+        options=ParamOptions(timeout=120))
+    print(f"   {outcome}")
+    assert outcome.verdict.value == "verified"
+
+    # -- act 2: the hidden assumption ----------------------------------------
+    print("\n2. drop the square-block assumption (the paper's '*' case):")
+    outcome = check_equivalence_param(
+        naive, optimized, width=8,
+        assumption_builder=partial(transpose_assumptions, square=False),
+        concretize={"bdim": (4, 2, 1), "gdim": (2, 4),
+                    "scalars": {"width": 8, "height": 8}},
+        options=ParamOptions(timeout=120))
+    print(f"   {outcome}")
+    assert outcome.verdict.value == "bug"
+    print("   -> the optimized kernel is only correct for square blocks,")
+    print("      and the counterexample was confirmed by concrete replay.")
+
+    # -- act 3: the baseline -------------------------------------------------
+    print("\n3. non-parameterized baseline (Section III), one n at a time:")
+    for n, bdim in [(4, (2, 2, 1)), (16, (4, 4, 1))]:
+        side = bdim[0] * 1  # single block: matrix side = block side
+        outcome = check_equivalence_nonparam(
+            naive, optimized,
+            LaunchConfig(bdim=bdim, gdim=(1, 1), width=8),
+            scalar_values={"width": side, "height": side}, timeout=120)
+        print(f"   n={n:3d}: {outcome.verdict} "
+              f"({outcome.elapsed:.2f}s)")
+    print("\nNote how the baseline must be re-run per n, while act 1's")
+    print("verdict holds for every covering square-block configuration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Packaging for the PUGpara reproduction.
+
+Metadata lives here rather than in pyproject.toml because the offline build
+environment lacks the `wheel` package: a pyproject [project] table would
+force pip onto the PEP 517/660 path, which needs bdist_wheel.  The legacy
+`setup.py develop` path used by `pip install -e .` needs only setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="pugpara",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Parameterized Verification of GPU Kernel Programs' "
+        "(PUGpara, 2012): a parameterized SMT-based equivalence and "
+        "correctness checker for CUDA-style kernels, with a from-scratch "
+        "QF_ABV SMT solver."
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["pugpara=repro.cli:main"]},
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

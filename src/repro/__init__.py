@@ -1,0 +1,68 @@
+"""PUGpara reproduction: parameterized verification of GPU kernel programs.
+
+An open-source implementation of the system described in *"Parameterized
+Verification of GPU Kernel Programs"* (Li & Gopalakrishnan, 2012): an
+SMT-based symbolic verifier that checks the functional equivalence of a CUDA
+kernel and its optimized version — and functional correctness against
+post-conditions — **for an arbitrary number of threads**, by modeling a
+single symbolic thread and resolving data flow through conditional
+assignments.
+
+Quick tour (see README.md for more)::
+
+    from repro import check_equivalence, transpose_assumptions
+    from repro.kernels import load_pair
+
+    (src_k, src), (tgt_k, tgt) = load_pair("Transpose")
+    outcome = check_equivalence(
+        src, tgt, method="param", width=8,
+        assumption_builder=transpose_assumptions,
+        concretize={"bdim": (2, 2, 1), "gdim": (2, 2),
+                    "scalars": {"width": 4, "height": 4}})
+    assert outcome.verdict.value == "verified"
+
+Sub-packages:
+
+- :mod:`repro.smt` — a from-scratch QF_ABV SMT solver (terms, simplifier,
+  array elimination, bit-blasting, CDCL SAT) substituting for Z3;
+- :mod:`repro.lang` — the mini-CUDA kernel DSL and reference interpreter;
+- :mod:`repro.encode` — the non-parameterized encoding (Section III);
+- :mod:`repro.param` — the parameterized encoding (Section IV);
+- :mod:`repro.check` — equivalence / functional / race checkers;
+- :mod:`repro.kernels` — the paper's kernel suite and bug injection;
+- :mod:`repro.bench` — the harness regenerating the paper's tables.
+"""
+
+from .errors import (
+    AlignmentError, EncodingError, InterpError, ParseError, ReproError,
+    SolverError, SolverTimeout, SortError, TypeCheckError,
+)
+from .lang import (
+    LaunchConfig, check_kernel, check_postconditions, parse_kernel,
+    parse_kernels, pretty_kernel, run_kernel,
+)
+from .check import (
+    CheckOutcome, Counterexample, ParamOptions, Verdict, check_equivalence,
+    check_equivalence_nonparam, check_equivalence_param, check_functional,
+    check_functional_nonparam, check_functional_param, check_races,
+    reduction_assumptions, suite_assumptions, transpose_assumptions,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "AlignmentError", "EncodingError", "InterpError", "ParseError",
+    "ReproError", "SolverError", "SolverTimeout", "SortError",
+    "TypeCheckError",
+    # language
+    "LaunchConfig", "check_kernel", "check_postconditions", "parse_kernel",
+    "parse_kernels", "pretty_kernel", "run_kernel",
+    # checkers
+    "CheckOutcome", "Counterexample", "ParamOptions", "Verdict",
+    "check_equivalence", "check_equivalence_nonparam",
+    "check_equivalence_param", "check_functional",
+    "check_functional_nonparam", "check_functional_param", "check_races",
+    "reduction_assumptions", "suite_assumptions", "transpose_assumptions",
+]

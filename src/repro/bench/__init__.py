@@ -1,0 +1,15 @@
+"""Benchmark harness: regenerates every table and figure of the paper's
+evaluation (see benchmarks/ for the pytest-benchmark entry points and
+EXPERIMENTS.md for paper-vs-measured results)."""
+
+from .harness import (
+    Cell, TableAccumulator, bench_timeout, format_cell, format_table,
+    run_cell,
+)
+from .tables import table1, table2, table2_cell, table3, table3_cell
+
+__all__ = [
+    "Cell", "TableAccumulator", "bench_timeout", "format_cell",
+    "format_table", "run_cell",
+    "table1", "table2", "table2_cell", "table3", "table3_cell",
+]

@@ -1,0 +1,27 @@
+"""User-facing checkers: equivalence (both methods), functional
+correctness, parameterized race checking, configuration assumptions, and
+counterexample replay."""
+
+from .result import CheckOutcome, Counterexample, Verdict
+from .configs import (
+    reduction_assumptions, suite_assumptions, transpose_assumptions,
+)
+from .replay import replay_equivalence, replay_postcondition
+from .equivalence import (
+    ParamOptions, check_equivalence, check_equivalence_nonparam,
+)
+from ..param.equivalence import check_equivalence_param
+from .functional import (
+    check_functional, check_functional_nonparam, check_functional_param,
+)
+from .races import check_races
+
+__all__ = [
+    "CheckOutcome", "Counterexample", "Verdict",
+    "reduction_assumptions", "suite_assumptions", "transpose_assumptions",
+    "replay_equivalence", "replay_postcondition",
+    "ParamOptions", "check_equivalence", "check_equivalence_nonparam",
+    "check_equivalence_param",
+    "check_functional", "check_functional_nonparam", "check_functional_param",
+    "check_races",
+]

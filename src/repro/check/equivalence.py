@@ -1,0 +1,159 @@
+"""Equivalence checking — the user-facing driver for both encodings.
+
+``check_equivalence(..., method="param")`` runs the paper's contribution
+(Section IV, one symbolic thread, any ``n``); ``method="nonparam"`` runs the
+Section III baseline at a concrete geometry (the columns the paper compares
+against).  Both share input variables between the two kernels ("suppose the
+two kernels take the same inputs…then they produce the same outputs").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..encode.nonparam import concretize_inputs, encode_kernel
+from ..errors import EncodingError, AlignmentError
+from ..lang.interp import LaunchConfig
+from ..lang.typecheck import KernelInfo
+from ..param.equivalence import ParamOptions, check_equivalence_param
+from ..smt import (
+    ArrayVar, BVVar, CheckResult, Eq, Ne, Or, Select, Solver, Term, fresh_var,
+)
+from ..smt.sorts import BV
+from .replay import replay_equivalence
+from .result import CheckOutcome, Counterexample, Verdict
+
+__all__ = ["check_equivalence", "check_equivalence_nonparam", "ParamOptions"]
+
+
+def check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
+                               config: LaunchConfig, *,
+                               scalar_values: dict[str, int] | None = None,
+                               concretize_extent: int | None = None,
+                               timeout: float | None = None,
+                               do_simplify: bool = True,
+                               validate: bool = True) -> CheckOutcome:
+    """Section III baseline: serialize all threads of ``config`` and ask the
+    solver for an input on which the outputs differ.
+
+    ``scalar_values`` pins scalar parameters (width/height...; usually
+    implied by the geometry); ``concretize_extent`` is the paper's ``+C.``
+    flag — pin that many input-array cells to concrete values.
+    """
+    start = time.monotonic()
+    outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
+    width = config.width
+    scalar_names = sorted(set(src_info.scalar_params) |
+                          set(tgt_info.scalar_params))
+    # Pinned scalars become constants *inside* the encoding, so loops
+    # bounded by them unroll (matmul's wA) and formulas shrink.
+    from repro.smt import BVConst
+    pinned = scalar_values or {}
+    inputs = {n: (BVConst(pinned[n], width) if n in pinned
+                  else BVVar(f"np.in.{n}", width)) for n in scalar_names}
+    array_names = sorted(set(src_info.global_arrays) |
+                         set(tgt_info.global_arrays))
+    arrays = {n: ArrayVar(f"np.arr.{n}", width, width) for n in array_names}
+
+    try:
+        m1 = encode_kernel(src_info, config, inputs, arrays)
+        m2 = encode_kernel(tgt_info, config, inputs, arrays)
+    except EncodingError as exc:
+        outcome.verdict = Verdict.UNSUPPORTED
+        outcome.reason = str(exc)
+        outcome.elapsed = time.monotonic() - start
+        return outcome
+
+    constraints: list[Term] = []
+    constraints += m1.assumes + m2.assumes
+    if concretize_extent:
+        constraints += concretize_inputs(m1, concretize_extent)
+
+    cell = fresh_var("np.cell", BV(width))
+    differs = []
+    for name in sorted(set(src_info.global_arrays) &
+                       set(tgt_info.global_arrays)):
+        differs.append(Ne(Select(m1.final_globals[name], cell),
+                          Select(m2.final_globals[name], cell)))
+    if not differs:
+        outcome.verdict = Verdict.UNSUPPORTED
+        outcome.reason = "the kernels share no global output arrays"
+        outcome.elapsed = time.monotonic() - start
+        return outcome
+
+    solver = Solver(timeout=timeout, do_simplify=do_simplify)
+    solver.add(*constraints, Or(*differs))
+    result = solver.check()
+    outcome.vcs_checked = 1
+    outcome.solver_time = float(solver.stats.get("time", 0.0))
+    if result is CheckResult.UNSAT:
+        outcome.verdict = Verdict.VERIFIED
+    elif result is CheckResult.UNKNOWN:
+        outcome.verdict = Verdict.TIMEOUT
+        outcome.reason = "budget exhausted (the paper's T.O)"
+    else:
+        model = solver.model()
+        scalars = {n: (pinned[n] if n in pinned else int(model[v]))  # type: ignore[arg-type]
+                   for n, v in inputs.items()}
+        contents = {}
+        for name, var in arrays.items():
+            raw = model[var]
+            assert isinstance(raw, dict)
+            contents[name] = {k: v for k, v in raw.items()
+                              if isinstance(k, int)}
+        cex = Counterexample(bdim=config.bdim, gdim=config.gdim,
+                             scalars=scalars, arrays=contents,
+                             detail=f"outputs differ at cell {model[cell]}")
+        if validate:
+            replay = replay_equivalence(src_info, tgt_info, cex, width)
+            if replay.confirmed:
+                cex.detail += f"; {replay.reason}"
+                outcome.verdict = Verdict.BUG
+                outcome.counterexample = cex
+            else:
+                outcome.verdict = Verdict.UNKNOWN
+                outcome.reason = (f"candidate did not replay "
+                                  f"({replay.reason})")
+        else:
+            outcome.verdict = Verdict.BUG
+            outcome.counterexample = cex
+    outcome.elapsed = time.monotonic() - start
+    return outcome
+
+
+def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
+                      method: str = "param",
+                      width: int = 32,
+                      config: LaunchConfig | None = None,
+                      assumption_builder=None,
+                      concretize: dict | None = None,
+                      concretize_extent: int | None = None,
+                      scalar_values: dict[str, int] | None = None,
+                      timeout: float | None = None,
+                      options: ParamOptions | None = None) -> CheckOutcome:
+    """Unified entry point.
+
+    ``method="param"`` — the paper's parameterized checker: needs ``width``
+    and optionally ``assumption_builder``/``concretize``.
+
+    ``method="nonparam"`` — the Section III baseline: needs a concrete
+    ``config`` (geometry fixes the thread count ``n``).
+    """
+    if method == "param":
+        opts = options or ParamOptions()
+        if timeout is not None:
+            opts.timeout = timeout
+        return check_equivalence_param(
+            src_info, tgt_info, width,
+            assumption_builder=assumption_builder,
+            concretize=concretize, options=opts)
+    if method == "nonparam":
+        if config is None:
+            raise ValueError("nonparam method requires a concrete config")
+        return check_equivalence_nonparam(
+            src_info, tgt_info, config,
+            scalar_values=scalar_values,
+            concretize_extent=concretize_extent,
+            timeout=timeout)
+    raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,222 @@
+"""Parameterized race checking.
+
+Table I lists PUGpara as parameterized "for both Race and Equiv. Check": the
+PUG-style two-thread race check becomes parameterized simply by making both
+thread ids symbolic (the paper notes "the techniques used in PUG can easily
+accommodate the use of symbolic thread identifiers").
+
+For every barrier interval and every pair of conditional assignments (and
+every write/read pair), we ask the solver for two *distinct* valid threads
+of the same block whose accesses collide:
+
+    write-write:  t1 != t2, g1(t1), g2(t2), addr1(t1) == addr2(t2)
+    read-write:   t1 != t2, g1(t1), g2(t2), waddr(t1) == raddr(t2)
+
+Races on global arrays across blocks are also checked (no same-block
+restriction there).  Loop intervals are checked for one symbolic iteration.
+Candidates are replayed on the interpreter's dynamic race detector before
+being reported.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..errors import EncodingError
+from ..lang.typecheck import KernelInfo
+from ..param.ca import CA, KernelModel, LoopModel, PlainModel, Read, extract_model
+from ..param.geometry import Geometry, ThreadInstance
+from ..param.resolve import instantiate
+from ..smt import (
+    And, ArrayVar, BVVar, CheckResult, Eq, Ne, Not, Or, Solver, Term,
+)
+from ..lang.interp import LaunchConfig, run_kernel
+from .replay import MAX_REPLAY_THREADS, extract_launch
+from .result import CheckOutcome, Counterexample, Verdict
+
+__all__ = ["check_races"]
+
+
+def _distinct(t1: ThreadInstance, t2: ThreadInstance, same_block: bool) -> Term:
+    """The two threads are different (and in the same block when asked)."""
+    diff = [Ne(t1.tid[a], t2.tid[a]) for a in ("x", "y", "z")]
+    if not same_block:
+        diff += [Ne(t1.bid[a], t2.bid[a]) for a in ("x", "y")]
+    return Or(*diff)
+
+
+@dataclass
+class _RaceQuery:
+    kind: str
+    line_a: int
+    line_b: int
+    array: str
+    terms: list[Term]
+
+
+def _interval_queries(model: KernelModel, plain: PlainModel,
+                      geometry: Geometry, info: KernelInfo,
+                      extra: list[Term]) -> list[_RaceQuery]:
+    queries: list[_RaceQuery] = []
+    cas = plain.cas
+    reads_by_ca: dict[int, list[Read]] = {}
+
+    def accesses(ca: CA, thread: ThreadInstance):
+        inst = instantiate(ca, model, thread)
+        return inst
+
+    for i, ca1 in enumerate(cas):
+        for ca2 in cas[i:]:
+            if ca1.array != ca2.array:
+                continue
+            shared = info.arrays[ca1.array].shared
+            t1 = ThreadInstance.fresh(geometry, "r1")
+            t2 = ThreadInstance.fresh(geometry, "r2",
+                                      bid=t1.bid if shared else None)
+            i1 = accesses(ca1, t1)
+            i2 = accesses(ca2, t2)
+            # write-write
+            queries.append(_RaceQuery(
+                kind="write-write", line_a=ca1.line, line_b=ca2.line,
+                array=ca1.array,
+                terms=[*extra, t1.validity(), t2.validity(),
+                       _distinct(t1, t2, shared), i1.guard, i2.guard,
+                       *[Eq(a, b) for a, b in zip(i1.address, i2.address)]]))
+            # read(ca2's reads) vs write(ca1)
+            for inst, other in ((i1, i2), (i2, i1)):
+                for read in other.reads:
+                    if read.array != inst.ca.array:
+                        continue
+                    queries.append(_RaceQuery(
+                        kind="read-write", line_a=inst.ca.line,
+                        line_b=other.ca.line, array=read.array,
+                        terms=[*extra, t1.validity(), t2.validity(),
+                               _distinct(t1, t2, shared),
+                               inst.guard, other.guard,
+                               *[Eq(a, b) for a, b in
+                                 zip(inst.address, read.address)]]))
+    return queries
+
+
+def check_races(info: KernelInfo, width: int = 16, *,
+                assumption_builder=None,
+                concretize: dict | None = None,
+                timeout: float | None = None,
+                validate: bool = True) -> CheckOutcome:
+    """Check the kernel race-free for any thread count.
+
+    A ``VERIFIED`` verdict means no two distinct threads can conflict on any
+    shared or global cell within any barrier interval, for any configuration
+    satisfying the assumptions.
+    """
+    start = time.monotonic()
+    outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
+    geometry = Geometry.create(width)
+    inputs = {n: BVVar(f"in.{n}", width) for n in info.scalar_params}
+    input_arrays = {n: ArrayVar(f"arr.{n}", width, width)
+                    for n in info.global_arrays}
+    try:
+        model = extract_model(info, geometry, inputs, hint="rc")
+    except EncodingError as exc:
+        outcome.verdict = Verdict.UNSUPPORTED
+        outcome.reason = str(exc)
+        outcome.elapsed = time.monotonic() - start
+        return outcome
+
+    assumptions = geometry.base_assumptions() + model.assumes
+    if assumption_builder is not None:
+        assumptions += list(assumption_builder(geometry, inputs))
+    if concretize:
+        if "bdim" in concretize:
+            assumptions += [Eq(geometry.bdim[a], v) for a, v in
+                            zip(("x", "y", "z"), concretize["bdim"])]
+        if "gdim" in concretize:
+            assumptions += [Eq(geometry.gdim[a], v) for a, v in
+                            zip(("x", "y"), concretize["gdim"])]
+        for name, value in (concretize.get("scalars") or {}).items():
+            assumptions.append(Eq(inputs[name], value))
+
+    deadline = start + timeout if timeout else None
+    queries: list[_RaceQuery] = []
+
+    def walk(segments):
+        for seg in segments:
+            if isinstance(seg, PlainModel):
+                queries.extend(
+                    _interval_queries(model, seg, geometry, info, []))
+            else:
+                assert isinstance(seg, LoopModel)
+                constraint = seg.space.constraint(seg.loop_var)
+                for body_seg in seg.body:
+                    assert isinstance(body_seg, PlainModel)
+                    queries.extend(_interval_queries(
+                        model, body_seg, geometry, info, [constraint]))
+
+    walk(model.segments)
+
+    # 4^5 = 1024 threads max: comfortably within the replay budget
+    small = min(4, (1 << width) - 1)
+    bounds = [v.ule(small) for v in (*geometry.bdim.values(),
+                                     *geometry.gdim.values())]
+    for q in queries:
+        budget = None if deadline is None else \
+            max(deadline - time.monotonic(), 0.01)
+        # Prefer a small (replayable) counterexample; fall back to the
+        # unbounded query so verification stays complete.
+        solver = Solver(timeout=budget)
+        solver.add(*assumptions, *q.terms, *bounds)
+        outcome.vcs_checked += 1
+        result = solver.check()
+        outcome.solver_time += float(solver.stats.get("time", 0.0))
+        if result is not CheckResult.SAT:
+            budget = None if deadline is None else \
+                max(deadline - time.monotonic(), 0.01)
+            solver = Solver(timeout=budget)
+            solver.add(*assumptions, *q.terms)
+            outcome.vcs_checked += 1
+            result = solver.check()
+            outcome.solver_time += float(solver.stats.get("time", 0.0))
+        if result is CheckResult.UNSAT:
+            continue
+        if result is CheckResult.UNKNOWN:
+            outcome.verdict = Verdict.TIMEOUT
+            outcome.reason = "budget exhausted (the paper's T.O)"
+            outcome.elapsed = time.monotonic() - start
+            return outcome
+        cex = extract_launch(solver.model(), geometry, inputs, input_arrays)
+        cex.detail = (f"{q.kind} race on {q.array!r} between lines "
+                      f"{q.line_a} and {q.line_b}")
+        if validate:
+            confirmed = _replay_race(info, cex, width)
+            if confirmed:
+                outcome.verdict = Verdict.BUG
+                outcome.counterexample = cex
+                outcome.elapsed = time.monotonic() - start
+                return outcome
+            outcome.verdict = Verdict.UNKNOWN
+            outcome.reason = (f"{cex.detail}: candidate race did not replay")
+            outcome.elapsed = time.monotonic() - start
+            return outcome
+        outcome.verdict = Verdict.BUG
+        outcome.counterexample = cex
+        outcome.elapsed = time.monotonic() - start
+        return outcome
+
+    outcome.verdict = Verdict.VERIFIED
+    outcome.elapsed = time.monotonic() - start
+    return outcome
+
+
+def _replay_race(info: KernelInfo, cex: Counterexample, width: int) -> bool:
+    bx, by, bz = cex.bdim
+    gx, gy = cex.gdim
+    if bx * by * bz * gx * gy > MAX_REPLAY_THREADS:
+        return False
+    config = LaunchConfig(bdim=cex.bdim, gdim=cex.gdim, width=width)
+    inputs = {**cex.scalars, **cex.arrays}
+    try:
+        result = run_kernel(info, config, inputs, check_races=True)
+    except Exception:
+        return False
+    return bool(result.races)

@@ -1,0 +1,88 @@
+"""Verdict types shared by all checkers.
+
+Mirrors the paper's reporting: a confirmed counterexample (``BUG``), a proof
+(``VERIFIED`` — for equivalence, "the kernels are equivalent for any number
+of threads"), budget exhaustion (``TIMEOUT``, the paper's ``T.O``), or an
+inconclusive analysis (``UNKNOWN`` — e.g. a candidate counterexample that
+concrete replay could not confirm, keeping the paper's no-false-alarms
+guarantee).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterator
+
+__all__ = ["Verdict", "Counterexample", "CheckOutcome", "stopwatch"]
+
+
+class Verdict(Enum):
+    VERIFIED = "verified"
+    BUG = "bug"
+    TIMEOUT = "timeout"
+    UNKNOWN = "unknown"
+    UNSUPPORTED = "unsupported"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class Counterexample:
+    """A concrete witness of a property violation.
+
+    All values are concrete Python ints (arrays as index->value dicts), so a
+    counterexample can be replayed by the reference interpreter — every BUG
+    verdict the library reports has survived that replay.
+    """
+    bdim: tuple[int, int, int]
+    gdim: tuple[int, int]
+    scalars: dict[str, int] = field(default_factory=dict)
+    arrays: dict[str, dict[int, int]] = field(default_factory=dict)
+    detail: str = ""
+
+    def describe(self) -> str:
+        parts = [f"bdim={self.bdim}", f"gdim={self.gdim}"]
+        parts += [f"{k}={v}" for k, v in sorted(self.scalars.items())]
+        for name, content in sorted(self.arrays.items()):
+            cells = ", ".join(f"[{i}]={v}" for i, v in sorted(content.items())[:8])
+            parts.append(f"{name}: {cells}")
+        if self.detail:
+            parts.append(self.detail)
+        return "; ".join(parts)
+
+
+@dataclass
+class CheckOutcome:
+    """The result of one verification query."""
+    verdict: Verdict
+    counterexample: Counterexample | None = None
+    reason: str = ""
+    elapsed: float = 0.0
+    solver_time: float = 0.0
+    vcs_checked: int = 0
+    complete: bool = True  # False when frames were skipped (Section IV-D)
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        out = f"{self.verdict.value} ({self.elapsed:.2f}s, {self.vcs_checked} VCs)"
+        if not self.complete:
+            out += " [frames unverified]"
+        if self.reason:
+            out += f": {self.reason}"
+        if self.counterexample is not None:
+            out += f"\n  counterexample: {self.counterexample.describe()}"
+        return out
+
+
+@contextmanager
+def stopwatch(outcome_setter) -> Iterator[None]:
+    """Measure a block's wall time into ``outcome_setter(seconds)``."""
+    start = time.monotonic()
+    try:
+        yield
+    finally:
+        outcome_setter(time.monotonic() - start)

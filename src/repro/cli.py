@@ -1,0 +1,206 @@
+"""Command-line interface: ``pugpara <command> ...``.
+
+Commands mirror the library's checkers:
+
+* ``pugpara equiv SRC.cu TGT.cu --method param --width 8 [--pair Transpose]``
+* ``pugpara func KERNEL.cu --method nonparam --bdim 4,1,1``
+* ``pugpara races KERNEL.cu --width 8``
+* ``pugpara run KERNEL.cu --bdim 4,1,1 --set n=3 --array data=1,2,3,4``
+* ``pugpara suite`` — list the bundled kernel suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .check import (
+    check_equivalence, check_functional, check_races, suite_assumptions,
+)
+from .check.result import Verdict
+from .lang import LaunchConfig, check_kernel, parse_kernel, run_kernel
+from .param.equivalence import ParamOptions
+
+__all__ = ["main"]
+
+
+def _triple(text: str) -> tuple[int, ...]:
+    parts = tuple(int(x) for x in text.split(","))
+    return parts
+
+
+def _load(path: str):
+    with open(path, encoding="utf-8") as fh:
+        kernel = parse_kernel(fh.read())
+    return kernel, check_kernel(kernel)
+
+
+def _parse_sets(pairs: list[str]) -> dict[str, int]:
+    out = {}
+    for p in pairs:
+        name, _, value = p.partition("=")
+        out[name] = int(value, 0)
+    return out
+
+
+def _parse_arrays(pairs: list[str]) -> dict[str, dict[int, int]]:
+    out = {}
+    for p in pairs:
+        name, _, values = p.partition("=")
+        out[name] = {i: int(v, 0) for i, v in enumerate(values.split(","))}
+    return out
+
+
+def _config(args) -> LaunchConfig:
+    bdim = _triple(args.bdim) if args.bdim else (1, 1, 1)
+    while len(bdim) < 3:
+        bdim = (*bdim, 1)
+    gdim = _triple(args.gdim) if args.gdim else (1, 1)
+    while len(gdim) < 2:
+        gdim = (*gdim, 1)
+    return LaunchConfig(bdim=bdim[:3], gdim=gdim[:2], width=args.width)
+
+
+def _concretize(args) -> dict | None:
+    if not (args.cbdim or args.cgdim or args.set):
+        return None
+    out: dict = {}
+    if args.cbdim:
+        b = _triple(args.cbdim)
+        while len(b) < 3:
+            b = (*b, 1)
+        out["bdim"] = b[:3]
+    if args.cgdim:
+        g = _triple(args.cgdim)
+        while len(g) < 2:
+            g = (*g, 1)
+        out["gdim"] = g[:2]
+    if args.set:
+        out["scalars"] = _parse_sets(args.set)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pugpara",
+        description="Parameterized verification of GPU kernel programs "
+                    "(PUGpara reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--width", type=int, default=8,
+                       help="machine word width in bits (default 8)")
+        p.add_argument("--timeout", type=float, default=60.0)
+        p.add_argument("--bdim", help="concrete block dims, e.g. 4,4,1")
+        p.add_argument("--gdim", help="concrete grid dims, e.g. 2,2")
+        p.add_argument("--cbdim", help="+C: pin bdim for the param method")
+        p.add_argument("--cgdim", help="+C: pin gdim for the param method")
+        p.add_argument("--set", action="append", default=[],
+                       metavar="NAME=VAL", help="pin a scalar input")
+        p.add_argument("--pair", help="use the named suite pair's "
+                                      "configuration assumptions")
+
+    p_eq = sub.add_parser("equiv", help="check kernel equivalence")
+    p_eq.add_argument("source")
+    p_eq.add_argument("target")
+    p_eq.add_argument("--method", choices=("param", "nonparam"),
+                      default="param")
+    p_eq.add_argument("--bughunt", action="store_true",
+                      help="fast bug hunting: skip frame conditions")
+    common(p_eq)
+
+    p_fn = sub.add_parser("func", help="check postconditions")
+    p_fn.add_argument("kernel")
+    p_fn.add_argument("--method", choices=("param", "nonparam"),
+                      default="param")
+    common(p_fn)
+
+    p_rc = sub.add_parser("races", help="parameterized race check")
+    p_rc.add_argument("kernel")
+    common(p_rc)
+
+    p_run = sub.add_parser("run", help="execute a kernel concretely")
+    p_run.add_argument("kernel")
+    p_run.add_argument("--array", action="append", default=[],
+                       metavar="NAME=v0,v1,...")
+    common(p_run)
+
+    sub.add_parser("suite", help="list the bundled kernel suite")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "suite":
+        from .kernels import KERNELS, PAIRS
+        print("kernels:")
+        for name in sorted(KERNELS):
+            print(f"  {name}")
+        print("equivalence pairs:")
+        for name in sorted(PAIRS):
+            print(f"  {name}")
+        return 0
+
+    builder = suite_assumptions(args.pair) if args.pair else None
+
+    if args.command == "equiv":
+        _, src = _load(args.source)
+        _, tgt = _load(args.target)
+        if args.method == "param":
+            outcome = check_equivalence(
+                src, tgt, method="param", width=args.width,
+                assumption_builder=builder, concretize=_concretize(args),
+                options=ParamOptions(timeout=args.timeout,
+                                     bughunt=args.bughunt))
+        else:
+            outcome = check_equivalence(
+                src, tgt, method="nonparam", config=_config(args),
+                scalar_values=_parse_sets(args.set) or None,
+                timeout=args.timeout)
+        print(outcome)
+        return 0 if outcome.verdict is Verdict.VERIFIED else 1
+
+    if args.command == "func":
+        _, info = _load(args.kernel)
+        if args.method == "param":
+            outcome = check_functional(
+                info, method="param", width=args.width,
+                assumption_builder=builder, concretize=_concretize(args),
+                timeout=args.timeout)
+        else:
+            outcome = check_functional(
+                info, method="nonparam", config=_config(args),
+                scalar_values=_parse_sets(args.set) or None,
+                timeout=args.timeout)
+        print(outcome)
+        return 0 if outcome.verdict is Verdict.VERIFIED else 1
+
+    if args.command == "races":
+        _, info = _load(args.kernel)
+        outcome = check_races(info, args.width,
+                              assumption_builder=builder,
+                              concretize=_concretize(args),
+                              timeout=args.timeout)
+        print(outcome)
+        return 0 if outcome.verdict is Verdict.VERIFIED else 1
+
+    if args.command == "run":
+        kernel, info = _load(args.kernel)
+        inputs: dict[str, object] = {}
+        inputs.update(_parse_sets(args.set))
+        inputs.update(_parse_arrays(args.array))
+        result = run_kernel(info, _config(args), inputs)
+        for name in info.global_arrays:
+            cells = result.globals.get(name, {})
+            rendered = ", ".join(f"[{i}]={v}"
+                                 for i, v in sorted(cells.items()))
+            print(f"{name}: {rendered}")
+        for race in result.races:
+            print(f"RACE: {race}")
+        for failure in result.assertion_failures:
+            print(f"ASSERT: {failure}")
+        return 0 if not (result.races or result.assertion_failures) else 1
+
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

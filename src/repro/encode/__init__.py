@@ -1,0 +1,8 @@
+"""The non-parameterized encoding (Section III) and the shared symbolic
+expression evaluator."""
+
+from .nonparam import NonParamModel, concretize_inputs, encode_kernel
+from .symexec import eval_bool, eval_expr
+
+__all__ = ["NonParamModel", "concretize_inputs", "encode_kernel",
+           "eval_bool", "eval_expr"]

@@ -1,0 +1,345 @@
+"""The non-parameterized encoding (Section III).
+
+All ``n`` threads of a *concrete* launch geometry are serialized in the
+*natural order* — thread 0 first, then thread 1, … — within each barrier
+interval, exactly the order Section III uses to define ``TRANS(t, n)``.
+Shared-variable state is threaded through the whole execution as SMT array
+store chains, which is the source of the encoding's blow-up in ``n`` (and of
+the paper's non-parameterized T.O columns): the final value of every cell is
+an ite/store chain mentioning every thread.
+
+Scalar inputs and array contents remain fully symbolic; only the geometry is
+fixed.  The paper's ``+C.`` flag additionally pins input values
+(:func:`concretize_inputs`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import EncodingError
+from ..lang.ast import (
+    Assert, Assign, Assume, Barrier, Block, For, Ident, If, Index, Postcond,
+    Spec, Stmt, VarDecl,
+)
+from ..lang.interp import LaunchConfig
+from ..lang.typecheck import KernelInfo
+from ..smt import (
+    And, ArrayVar, BVConst, Eq, Implies, Ite, Not, Select, Store, Term, Var,
+    fresh_name,
+)
+from ..smt.sorts import ARRAY
+from .symexec import _ARITH, eval_bool, eval_expr
+
+__all__ = ["NonParamModel", "encode_kernel", "concretize_inputs"]
+
+
+@dataclass
+class NonParamModel:
+    """The symbolic transition relation of one kernel at one geometry."""
+    info: KernelInfo
+    config: LaunchConfig
+    inputs: dict[str, Term]
+    input_arrays: dict[str, Term]
+    final_globals: dict[str, Term]
+    assumes: list[Term] = field(default_factory=list)
+    asserts: list[tuple[Term, int]] = field(default_factory=list)
+    rounds: int = 0
+
+
+class _State:
+    """Shared-memory state: global arrays grid-wide, shared arrays per
+    block.  Values are SMT array terms (store chains)."""
+
+    def __init__(self) -> None:
+        self.arrays: dict[str, Term] = {}
+
+    def copy(self) -> "_State":
+        out = _State()
+        out.arrays = dict(self.arrays)
+        return out
+
+
+class _Thread:
+    """Symbolic execution context of one concrete thread."""
+
+    def __init__(self, encoder: "_Encoder", bid: tuple[int, int],
+                 tid: tuple[int, int, int]) -> None:
+        self.encoder = encoder
+        self.bid = bid
+        self.tid = tid
+        self.width = encoder.width
+        self.locals: dict[str, Term] = dict(encoder.model.inputs)
+        self.guards: list[Term] = []
+
+    # ------------------------------------------------------------- SymScope
+
+    def local(self, name: str, line: int) -> Term:
+        try:
+            return self.locals[name]
+        except KeyError:
+            # An uninitialized scalar is an unconstrained symbolic value
+            # (used by postconditions for universal quantification).
+            var = Var(f"{fresh_name('uninit')}.{name}",
+                      BVConst(0, self.width).sort)
+            self.locals[name] = var
+            return var
+
+    def builtin(self, base: str, axis: str, line: int) -> Term:
+        cfg = self.encoder.config
+        idx = "xyz".index(axis)
+        if base == "tid":
+            return BVConst(self.tid[idx], self.width)
+        if base == "bid":
+            if axis == "z":
+                raise EncodingError(f"line {line}: blockIdx has no z axis")
+            return BVConst(self.bid[idx], self.width)
+        if base == "bdim":
+            return BVConst(cfg.bdim[idx], self.width)
+        if axis == "z":
+            raise EncodingError(f"line {line}: gridDim has no z axis")
+        return BVConst(cfg.gdim[idx], self.width)
+
+    def _flat_index(self, name: str, indices: tuple[Term, ...],
+                    line: int) -> tuple[str, Term]:
+        arr = self.encoder.model.info.arrays[name]
+        key = name if not arr.shared else f"{name}@{self.bid}"
+        if arr.dims:
+            dims = self.encoder.shared_dims(name, self)
+            flat = indices[0]
+            for dim, idx in zip(dims[1:], indices[1:]):
+                flat = flat * BVConst(dim, self.width) + idx
+            return key, flat
+        return key, indices[0]
+
+    def read_array(self, name: str, indices: tuple[Term, ...],
+                   line: int) -> Term:
+        key, flat = self._flat_index(name, indices, line)
+        return Select(self.encoder.state.arrays[key], flat)
+
+    def write_array(self, name: str, indices: tuple[Term, ...], value: Term,
+                    line: int) -> None:
+        key, flat = self._flat_index(name, indices, line)
+        state = self.encoder.state
+        state.arrays[key] = Store(state.arrays[key], flat, value)
+
+    # ------------------------------------------------------------ statements
+
+    def guard(self) -> Term:
+        return And(*self.guards)
+
+    def exec_block(self, stmts: tuple[Stmt, ...]) -> Iterator[None]:
+        for s in stmts:
+            yield from self.exec_stmt(s)
+
+    def exec_stmt(self, s: Stmt) -> Iterator[None]:
+        enc = self.encoder
+        if isinstance(s, Block):
+            yield from self.exec_block(s.stmts)
+        elif isinstance(s, VarDecl):
+            if s.shared:
+                return
+            if s.init is not None:
+                self.locals[s.name] = eval_expr(s.init, self)
+            else:
+                self.locals.pop(s.name, None)
+        elif isinstance(s, Assign):
+            value = eval_expr(s.value, self)
+            if isinstance(s.target, Ident):
+                if s.op is not None:
+                    value = _ARITH[s.op](self.local(s.target.name, s.line),
+                                         value)
+                self.locals[s.target.name] = value
+            else:
+                assert isinstance(s.target, Index)
+                indices = tuple(eval_expr(i, self) for i in s.target.indices)
+                if s.op is not None:
+                    old = self.read_array(s.target.base.name, indices, s.line)
+                    value = _ARITH[s.op](old, value)
+                self.write_array(s.target.base.name, indices, value, s.line)
+        elif isinstance(s, Barrier):
+            yield
+        elif isinstance(s, If):
+            yield from self.exec_if(s)
+        elif isinstance(s, For):
+            yield from self.exec_for(s)
+        elif isinstance(s, Assume):
+            enc.model.assumes.append(Implies(self.guard(),
+                                             eval_bool(s.cond, self)))
+        elif isinstance(s, Assert):
+            enc.model.asserts.append(
+                (Implies(self.guard(), eval_bool(s.cond, self)), s.line))
+        elif isinstance(s, (Postcond, Spec)):
+            return  # encoded separately over the final state
+        else:  # pragma: no cover
+            raise EncodingError(f"unsupported statement {type(s).__name__}")
+
+    def exec_if(self, s: If) -> Iterator[None]:
+        cond = eval_bool(s.cond, self)
+        if cond.is_true():
+            yield from self.exec_block(s.then.stmts)
+            return
+        if cond.is_false():
+            if s.els is not None:
+                yield from self.exec_block(s.els.stmts)
+            return
+        # Symbolic condition: barriers inside are rejected by the
+        # typechecker only for tid-dependent conditions; for symbolic but
+        # uniform conditions (e.g. on width) a barrier would need path
+        # splitting, which this encoder does not implement.
+        from ..param.segments import contains_barrier
+        if contains_barrier(s):
+            raise EncodingError(
+                f"line {s.line}: barrier under a symbolic condition is not "
+                "supported by the non-parameterized encoding")
+        enc = self.encoder
+        saved_locals = dict(self.locals)
+        saved_state = enc.state.copy()
+        self.guards.append(cond)
+        for _ in self.exec_block(s.then.stmts):
+            raise AssertionError("unreachable: no barriers here")
+        then_locals, then_state = self.locals, enc.state
+        self.locals = dict(saved_locals)
+        enc.state = saved_state.copy()
+        self.guards[-1] = Not(cond)
+        if s.els is not None:
+            for _ in self.exec_block(s.els.stmts):
+                raise AssertionError("unreachable: no barriers here")
+        else_locals, else_state = self.locals, enc.state
+        self.guards.pop()
+        # Merge locals.
+        merged: dict[str, Term] = {}
+        for name in set(then_locals) | set(else_locals):
+            tv = then_locals.get(name)
+            ev = else_locals.get(name)
+            if tv is None:
+                merged[name] = ev
+            elif ev is None:
+                merged[name] = tv
+            else:
+                merged[name] = tv if tv is ev else Ite(cond, tv, ev)
+        self.locals = merged
+        # Merge array state.
+        out = _State()
+        for key in set(then_state.arrays) | set(else_state.arrays):
+            tv = then_state.arrays[key]
+            ev = else_state.arrays[key]
+            out.arrays[key] = tv if tv is ev else Ite(cond, tv, ev)
+        enc.state = out
+
+    def exec_for(self, s: For) -> Iterator[None]:
+        if s.init is not None:
+            for _ in self.exec_stmt(s.init):
+                raise AssertionError("barrier in loop init")
+        count = 0
+        while True:
+            if s.cond is None:
+                raise EncodingError(f"line {s.line}: unbounded loop")
+            cond = eval_bool(s.cond, self)
+            if cond.is_false():
+                return
+            if not cond.is_true():
+                raise EncodingError(
+                    f"line {s.line}: loop bound stays symbolic at a concrete "
+                    "geometry; concretize the relevant inputs (+C)")
+            yield from self.exec_block(s.body.stmts)
+            if s.step is not None:
+                for _ in self.exec_stmt(s.step):
+                    raise AssertionError("barrier in loop step")
+            count += 1
+            if count > self.encoder.MAX_UNROLL:
+                raise EncodingError(
+                    f"line {s.line}: loop exceeded the unrolling limit")
+
+
+class _Encoder:
+    MAX_UNROLL = 1 << 16
+
+    def __init__(self, info: KernelInfo, config: LaunchConfig,
+                 inputs: dict[str, Term],
+                 input_arrays: dict[str, Term]) -> None:
+        self.config = config
+        self.width = config.width
+        self.model = NonParamModel(info=info, config=config, inputs=inputs,
+                                   input_arrays=input_arrays,
+                                   final_globals={})
+        self.state = _State()
+        self.state.arrays.update(input_arrays)
+        self._dims: dict[str, tuple[int, ...]] = {}
+
+    def shared_dims(self, name: str, thread: _Thread) -> tuple[int, ...]:
+        dims = self._dims.get(name)
+        if dims is None:
+            arr = self.model.info.arrays[name]
+            out = []
+            for d in arr.dims:
+                t = eval_expr(d, thread)
+                if not t.is_const():
+                    raise EncodingError(
+                        f"shared array {name!r} has a symbolic dimension at "
+                        "a concrete geometry")
+                out.append(t.value)
+            dims = tuple(out)
+            self._dims[name] = dims
+        return dims
+
+    def run(self) -> NonParamModel:
+        cfg = self.config
+        info = self.model.info
+        width = self.width
+        for bid in cfg.block_ids():
+            for name in info.shared_arrays:
+                self.state.arrays[f"{name}@{bid}"] = ArrayVar(
+                    f"{fresh_name(name)}@{bid[0]}.{bid[1]}", width, width)
+            threads = []
+            for tid in cfg.thread_ids():
+                th = _Thread(self, bid, tid)
+                threads.append(th.exec_block(info.kernel.body.stmts))
+            alive = list(threads)
+            while alive:
+                statuses = []
+                for gen in alive:
+                    try:
+                        next(gen)
+                        statuses.append(True)
+                    except StopIteration:
+                        statuses.append(False)
+                if any(statuses) and not all(statuses):
+                    raise EncodingError("barrier divergence at this geometry")
+                self.model.rounds += 1
+                alive = [g for g, s in zip(alive, statuses) if s]
+        self.model.final_globals = {
+            name: self.state.arrays[name] for name in info.global_arrays}
+        return self.model
+
+
+def encode_kernel(info: KernelInfo, config: LaunchConfig,
+                  inputs: dict[str, Term],
+                  input_arrays: dict[str, Term]) -> NonParamModel:
+    """Serialize the kernel at the concrete geometry of ``config``.
+
+    ``inputs`` (scalar parameters) and ``input_arrays`` (global arrays) are
+    shared between the two kernels of an equivalence query, expressing "the
+    same inputs".
+    """
+    missing = [p for p in info.scalar_params if p not in inputs]
+    if missing:
+        raise EncodingError(f"missing input variables for {missing}")
+    return _Encoder(info, config, inputs, input_arrays).run()
+
+
+def concretize_inputs(model: NonParamModel, extent: int,
+                      seed: int = 1) -> list[Term]:
+    """The paper's ``+C.`` flag for the non-parameterized method: pin the
+    first ``extent`` cells of every input array (and leave scalars to the
+    caller).  Returns equality constraints."""
+    width = model.config.width
+    mask = (1 << width) - 1
+    out: list[Term] = []
+    for nth, (name, arr) in enumerate(sorted(model.input_arrays.items())):
+        for i in range(extent):
+            value = (37 * i + 11 * nth + seed) & mask
+            out.append(Eq(Select(arr, BVConst(i, width)),
+                          BVConst(value, width)))
+    return out

@@ -1,0 +1,119 @@
+"""Shared symbolic expression evaluation for both encoders.
+
+Translates DSL expressions into SMT terms over an environment that supplies
+local-variable bindings, thread-geometry values, and an array-read hook.
+The two encoders differ only in how statements thread state (the
+non-parameterized one serializes all threads through store chains; the
+parameterized one emits conditional assignments), so the expression layer is
+factored out here.
+
+C-style boolean conventions: any bit-vector expression used as a condition
+means ``!= 0``; any boolean operator used as a value yields 0/1.
+``eval_bool`` avoids the 0/1 round-trip when the consumer wants a Bool term
+(guards, postconditions), which keeps guards in the clean ``And``/``ULt``
+vocabulary the paper's formulas use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from ..errors import EncodingError
+from ..lang.ast import (
+    Binary, Builtin, Call, Expr, Ident, Index, IntLit, Ternary, Unary,
+)
+from ..smt import (
+    And, BVAdd, BVAnd, BVConst, BVLshr, BVMul, BVNeg, BVNot, BVOr, BVShl,
+    BVSub, BVUDiv, BVURem, BVXor, Eq, Implies, Ite, Ne, Not, Or, Term, UGe,
+    UGt, ULe, ULt,
+)
+
+__all__ = ["SymScope", "eval_expr", "eval_bool"]
+
+
+class SymScope(Protocol):
+    """What expression evaluation needs from its surroundings."""
+
+    width: int
+
+    def local(self, name: str, line: int) -> Term:
+        """Value of local variable / scalar parameter ``name``."""
+
+    def builtin(self, base: str, axis: str, line: int) -> Term:
+        """Value of ``tid.x`` etc."""
+
+    def read_array(self, name: str, indices: tuple[Term, ...],
+                   line: int) -> Term:
+        """Value of an array element; index components already evaluated."""
+
+
+_ARITH: dict[str, Callable[[Term, Term], Term]] = {
+    "+": BVAdd, "-": BVSub, "*": BVMul, "/": BVUDiv, "%": BVURem,
+    "<<": BVShl, ">>": BVLshr, "&": BVAnd, "|": BVOr, "^": BVXor,
+}
+
+_CMP: dict[str, Callable[[Term, Term], Term]] = {
+    "==": Eq, "!=": Ne, "<": ULt, "<=": ULe, ">": UGt, ">=": UGe,
+}
+
+_BOOL = {"&&", "||", "==>"}
+
+
+def eval_expr(e: Expr, scope: SymScope) -> Term:
+    """Evaluate an expression to a bit-vector term."""
+    if isinstance(e, IntLit):
+        return BVConst(e.value, scope.width)
+    if isinstance(e, Ident):
+        return scope.local(e.name, e.line)
+    if isinstance(e, Builtin):
+        return scope.builtin(e.base, e.axis, e.line)
+    if isinstance(e, Unary):
+        if e.op == "-":
+            return BVNeg(eval_expr(e.operand, scope))
+        if e.op == "~":
+            return BVNot(eval_expr(e.operand, scope))
+        # '!'
+        return _as_value(Not(eval_bool(e.operand, scope)), scope)
+    if isinstance(e, Binary):
+        if e.op in _ARITH:
+            return _ARITH[e.op](eval_expr(e.left, scope),
+                                eval_expr(e.right, scope))
+        # comparison or boolean used as a value
+        return _as_value(eval_bool(e, scope), scope)
+    if isinstance(e, Ternary):
+        return Ite(eval_bool(e.cond, scope), eval_expr(e.then, scope),
+                   eval_expr(e.els, scope))
+    if isinstance(e, Index):
+        indices = tuple(eval_expr(i, scope) for i in e.indices)
+        return scope.read_array(e.base.name, indices, e.line)
+    if isinstance(e, Call):
+        a = eval_expr(e.args[0], scope)
+        b = eval_expr(e.args[1], scope)
+        return Ite(ULt(a, b), a, b) if e.func == "min" else Ite(ULt(a, b), b, a)
+    raise EncodingError(f"cannot encode expression {type(e).__name__}")
+
+
+def eval_bool(e: Expr, scope: SymScope) -> Term:
+    """Evaluate an expression to a Bool term (condition position)."""
+    if isinstance(e, Binary):
+        if e.op in _CMP:
+            return _CMP[e.op](eval_expr(e.left, scope),
+                              eval_expr(e.right, scope))
+        if e.op in _BOOL:
+            left = eval_bool(e.left, scope)
+            right = eval_bool(e.right, scope)
+            if e.op == "&&":
+                return And(left, right)
+            if e.op == "||":
+                return Or(left, right)
+            return Implies(left, right)
+    if isinstance(e, Unary) and e.op == "!":
+        return Not(eval_bool(e.operand, scope))
+    if isinstance(e, Ternary):
+        return Ite(eval_bool(e.cond, scope), eval_bool(e.then, scope),
+                   eval_bool(e.els, scope))
+    return Ne(eval_expr(e, scope), 0)
+
+
+def _as_value(b: Term, scope: SymScope) -> Term:
+    return Ite(b, BVConst(1, scope.width), BVConst(0, scope.width))

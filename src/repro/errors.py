@@ -1,0 +1,68 @@
+"""Exception hierarchy for the PUGpara reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SortError(ReproError):
+    """A term was constructed with operands of incompatible sorts."""
+
+
+class ParseError(ReproError):
+    """The kernel DSL source text could not be parsed.
+
+    Attributes
+    ----------
+    line, col:
+        1-based position of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = f"{line}:{col or 0}: {message}"
+        super().__init__(message)
+
+
+class TypeCheckError(ReproError):
+    """The kernel DSL program is ill-typed."""
+
+
+class EncodingError(ReproError):
+    """A kernel could not be encoded into SMT constraints.
+
+    Raised e.g. when a loop bound is symbolic and cannot be unrolled, or when
+    a kernel uses a feature outside the supported fragment.
+    """
+
+
+class SolverError(ReproError):
+    """Internal failure of the SMT/SAT engine (not a 'sat'/'unsat' answer)."""
+
+
+class SolverTimeout(ReproError):
+    """The solver exceeded its time or conflict budget.
+
+    Mirrors the paper's ``T.O`` entries; checkers convert this into a
+    ``TIMEOUT`` verdict rather than letting it propagate to users.
+    """
+
+
+class AlignmentError(ReproError):
+    """Loop alignment between source and target kernels failed (Section IV-E)."""
+
+
+class InterpError(ReproError):
+    """The concrete reference interpreter hit a runtime fault.
+
+    Examples: out-of-bounds array access, data race under the canonical
+    schedule, or barrier divergence.
+    """

@@ -1,0 +1,46 @@
+"""Bitonic sort (CUDA SDK sample).
+
+The paper singles this kernel out as the one that blows up GKLEE beyond 8
+threads ("the BitonicSort kernel (of about 50 lines of code) will cause
+blow-up when the thread number is greater than 8") — it is branch-heavy and
+its nested loops depend on the block size.  We include it for the
+interpreter/race tests and for the scaling benchmark that reproduces the
+blow-up behaviour of concrete-thread analyses.
+"""
+
+from __future__ import annotations
+
+KERNEL = """
+// In-shared-memory bitonic sort of bdim.x elements (bdim.x a power of two).
+__global__ void bitonicSort(int *values) {
+  __shared__ int shared[bdim.x];
+  shared[tid.x] = values[tid.x];
+  __syncthreads();
+  for (unsigned int k = 2; k <= bdim.x; k *= 2) {
+    for (unsigned int j = k / 2; j > 0; j /= 2) {
+      unsigned int ixj = tid.x ^ j;
+      if (ixj > tid.x) {
+        if ((tid.x & k) == 0) {
+          if (shared[tid.x] > shared[ixj]) {
+            int tmp = shared[tid.x];
+            shared[tid.x] = shared[ixj];
+            shared[ixj] = tmp;
+          }
+        } else {
+          if (shared[tid.x] < shared[ixj]) {
+            int tmp = shared[tid.x];
+            shared[tid.x] = shared[ixj];
+            shared[ixj] = tmp;
+          }
+        }
+      }
+      __syncthreads();
+    }
+  }
+  values[tid.x] = shared[tid.x];
+  spec {
+    int i;
+    postcond(i < bdim.x - 1 ==> values[i] <= values[i + 1]);
+  }
+}
+"""

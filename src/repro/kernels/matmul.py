@@ -1,0 +1,45 @@
+"""Matrix multiplication, naive vs. shared-memory tiled (CUDA Programming
+Guide chapter 6, which the paper cites for arbitrarily-sized-block kernels).
+
+The tiled version is the canonical memory-coalescing optimization whose loop
+structure is preserved — the class of transformation the paper's
+parameterized equivalence checking targets.  Both kernels compute
+``C = A x B`` for ``hA x wA`` times ``wA x wB`` matrices; the tiled one
+assumes ``wA`` is a multiple of the (square) tile size.
+"""
+
+from __future__ import annotations
+
+NAIVE = """
+// One thread per output element, straight from global memory.
+__global__ void naiveMatMul(int *C, int *A, int *B, int wA, int wB) {
+  int row = bid.y * bdim.y + tid.y;
+  int col = bid.x * bdim.x + tid.x;
+  int sum = 0;
+  for (int k = 0; k < wA; k++) {
+    sum += A[row * wA + k] * B[k * wB + col];
+  }
+  C[row * wB + col] = sum;
+}
+"""
+
+TILED = """
+// Tile A and B through shared memory; one tile pair per outer iteration.
+__global__ void tiledMatMul(int *C, int *A, int *B, int wA, int wB) {
+  __shared__ int As[bdim.y][bdim.x];
+  __shared__ int Bs[bdim.y][bdim.x];
+  int row = bid.y * bdim.y + tid.y;
+  int col = bid.x * bdim.x + tid.x;
+  int sum = 0;
+  for (int m = 0; m < wA / bdim.x; m++) {
+    As[tid.y][tid.x] = A[row * wA + m * bdim.x + tid.x];
+    Bs[tid.y][tid.x] = B[(m * bdim.y + tid.y) * wB + col];
+    __syncthreads();
+    for (int k = 0; k < bdim.x; k++) {
+      sum += As[tid.y][k] * Bs[k][tid.x];
+    }
+    __syncthreads();
+  }
+  C[row * wB + col] = sum;
+}
+"""

@@ -1,0 +1,74 @@
+"""The parallel-reduction kernel pair (CUDA SDK "reduction" sample), the
+second benchmark of the paper's evaluation (Tables II and III).
+
+``NAIVE`` uses the modulo test ``tid % (2k) == 0`` (interleaved addressing,
+heavy integer modulo and maximal divergence); ``OPTIMIZED`` replaces it with
+the strided index ``2*k*tid`` — the exact transformation Section IV-E
+verifies after loop alignment.
+
+Faithfulness note: the paper's listing shows the source loop descending
+(``k = bdim.x/2; k > 0; k >>= 2``) while the optimized one ascends — the
+original SDK reduce1->reduce2 pair it cites both ascend, and the descending
+header with ``>>= 2`` is a transcription slip (it would skip strides).  We
+transcribe the SDK-faithful ascending pair, which makes the two loop headers
+literally identical after normalization — the situation the paper's loop
+alignment targets ("the two loop headers can be normalized to be the same").
+
+Both kernels assume a power-of-two block size, a single reduction per block,
+and carry the paper's recursive-sum specification in a ``spec`` block.
+"""
+
+from __future__ import annotations
+
+NAIVE = """
+// CUDA SDK reduction, interleaved addressing with modulo (reduce1 style).
+__global__ void naiveReduce(int *g_odata, int *g_idata) {
+  __shared__ int sdata[bdim.x];
+  sdata[tid.x] = g_idata[bid.x * bdim.x + tid.x];
+  __syncthreads();
+  for (unsigned int k = 1; k < bdim.x; k *= 2) {
+    if ((tid.x % (2 * k)) == 0) {
+      sdata[tid.x] += sdata[tid.x + k];
+    }
+    __syncthreads();
+  }
+  if (tid.x == 0) {
+    g_odata[bid.x] = sdata[0];
+  }
+  spec {
+    int s = 0;
+    int i;
+    for (i = 0; i < bdim.x; i++) {
+      s = s + g_idata[i];
+    }
+    postcond(g_odata[0] == s);
+  }
+}
+"""
+
+OPTIMIZED = """
+// CUDA SDK reduction, strided indexing without modulo (reduce2 style).
+__global__ void optimizedReduce(int *g_odata, int *g_idata) {
+  __shared__ int sdata[bdim.x];
+  sdata[tid.x] = g_idata[bid.x * bdim.x + tid.x];
+  __syncthreads();
+  for (unsigned int k = 1; k < bdim.x; k *= 2) {
+    int index = 2 * k * tid.x;
+    if (index < bdim.x) {
+      sdata[index] += sdata[index + k];
+    }
+    __syncthreads();
+  }
+  if (tid.x == 0) {
+    g_odata[bid.x] = sdata[0];
+  }
+  spec {
+    int s = 0;
+    int i;
+    for (i = 0; i < bdim.x; i++) {
+      s = s + g_idata[i];
+    }
+    postcond(g_odata[0] == s);
+  }
+}
+"""

@@ -1,0 +1,37 @@
+"""Scalar (dot) product with a sequential-addressing tree reduction,
+modelled on the CUDA SDK ``scalarProd`` sample.
+
+Section V of the paper uses this kernel for its configuration-bug class:
+the tree reduction is only correct when the accumulator count is a power of
+two ("using a value of ACCN that is not a power of 2").  Our checkers expose
+exactly that: with a non-power-of-two block size the spec fails.
+"""
+
+from __future__ import annotations
+
+KERNEL = """
+// Per-block dot product: elementwise products, then a tree reduction.
+__global__ void scalarProd(int *d_C, int *d_A, int *d_B) {
+  __shared__ int accumResult[bdim.x];
+  int gi = bid.x * bdim.x + tid.x;
+  accumResult[tid.x] = d_A[gi] * d_B[gi];
+  __syncthreads();
+  for (int stride = bdim.x / 2; stride > 0; stride >>= 1) {
+    if (tid.x < stride) {
+      accumResult[tid.x] += accumResult[tid.x + stride];
+    }
+    __syncthreads();
+  }
+  if (tid.x == 0) {
+    d_C[bid.x] = accumResult[0];
+  }
+  spec {
+    int s = 0;
+    int i;
+    for (i = 0; i < bdim.x; i++) {
+      s = s + d_A[i] * d_B[i];
+    }
+    postcond(d_C[0] == s);
+  }
+}
+"""

@@ -1,0 +1,53 @@
+"""The naive (Hillis-Steele, ping-pong buffered) scan kernel from the CUDA
+SDK ``scan_naive`` sample.
+
+The paper uses scan as the motivating example for *recursive*
+post-conditions: an exclusive prefix sum is specified by
+``g_odata[0] = 0  and  g_odata[i+1] = g_odata[i] + g_idata[i]``.
+That recursive spec appears here verbatim in the ``spec`` block.
+"""
+
+from __future__ import annotations
+
+NAIVE = """
+// CUDA SDK scan_naive: O(n log n) exclusive scan with ping-pong buffers.
+__global__ void scanNaive(int *g_odata, int *g_idata) {
+  __shared__ int temp[2 * bdim.x];
+  int pout = 0;
+  int pin = 1;
+  temp[pout * bdim.x + tid.x] = (tid.x > 0) ? g_idata[tid.x - 1] : 0;
+  __syncthreads();
+  for (int offset = 1; offset < bdim.x; offset *= 2) {
+    pout = 1 - pout;
+    pin = 1 - pout;
+    temp[pout * bdim.x + tid.x] = temp[pin * bdim.x + tid.x];
+    if (tid.x >= offset) {
+      temp[pout * bdim.x + tid.x] += temp[pin * bdim.x + tid.x - offset];
+    }
+    __syncthreads();
+  }
+  g_odata[tid.x] = temp[pout * bdim.x + tid.x];
+  spec {
+    int i;
+    postcond(g_odata[0] == 0);
+    postcond(i < bdim.x - 1 ==> g_odata[i + 1] == g_odata[i] + g_idata[i]);
+  }
+}
+"""
+
+# A deliberately racy variant (drops the ping-pong double buffering): the
+# classic in-place Hillis-Steele mistake.  Used by the race-detection tests.
+RACY = """
+__global__ void scanRacy(int *g_odata, int *g_idata) {
+  __shared__ int temp[bdim.x];
+  temp[tid.x] = (tid.x > 0) ? g_idata[tid.x - 1] : 0;
+  __syncthreads();
+  for (int offset = 1; offset < bdim.x; offset *= 2) {
+    if (tid.x >= offset) {
+      temp[tid.x] += temp[tid.x - offset];
+    }
+    __syncthreads();
+  }
+  g_odata[tid.x] = temp[tid.x];
+}
+"""

@@ -1,0 +1,94 @@
+"""Registry of the paper's kernel suite.
+
+Each entry names a kernel (or an unoptimized/optimized pair), its parsed AST,
+and the configuration assumptions under which the pair is equivalent — the
+"valid configurations" of Section IV-B (square blocks for transpose,
+power-of-two block size for the reduction-style kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..lang import Kernel, KernelInfo, check_kernel, parse_kernel
+from . import bitonic, matmul, reduction, scalar_product, scan, transpose
+
+__all__ = ["KernelEntry", "PairEntry", "KERNELS", "PAIRS", "load", "load_pair"]
+
+
+@dataclass(frozen=True)
+class KernelEntry:
+    """A single kernel: its DSL source and the configuration constraints its
+    spec needs (strings over bdim/gdim/scalar params, DSL expression syntax)."""
+    name: str
+    source: str
+    assumptions: tuple[str, ...] = ()
+    pow2_bdim: bool = False        # spec needs a power-of-two block size
+    square_block: bool = False     # spec needs bdim.x == bdim.y
+
+
+@dataclass(frozen=True)
+class PairEntry:
+    """An unoptimized/optimized kernel pair for equivalence checking."""
+    name: str
+    source: KernelEntry
+    target: KernelEntry
+    pow2_bdim: bool = False
+    square_block: bool = False
+
+
+def _entry(name: str, source: str, **kw) -> KernelEntry:
+    return KernelEntry(name=name, source=source, **kw)
+
+
+KERNELS: dict[str, KernelEntry] = {
+    "naiveTranspose": _entry("naiveTranspose", transpose.NAIVE),
+    "optimizedTranspose": _entry("optimizedTranspose", transpose.OPTIMIZED,
+                                 square_block=True),
+    "naiveReduce": _entry("naiveReduce", reduction.NAIVE, pow2_bdim=True),
+    "optimizedReduce": _entry("optimizedReduce", reduction.OPTIMIZED,
+                              pow2_bdim=True),
+    "scanNaive": _entry("scanNaive", scan.NAIVE, pow2_bdim=True),
+    "scanRacy": _entry("scanRacy", scan.RACY, pow2_bdim=True),
+    "scalarProd": _entry("scalarProd", scalar_product.KERNEL, pow2_bdim=True),
+    "naiveMatMul": _entry("naiveMatMul", matmul.NAIVE),
+    "tiledMatMul": _entry("tiledMatMul", matmul.TILED, square_block=True),
+    "bitonicSort": _entry("bitonicSort", bitonic.KERNEL, pow2_bdim=True),
+}
+
+PAIRS: dict[str, PairEntry] = {
+    "Transpose": PairEntry(
+        name="Transpose",
+        source=KERNELS["naiveTranspose"],
+        target=KERNELS["optimizedTranspose"],
+        square_block=True,
+    ),
+    "Reduction": PairEntry(
+        name="Reduction",
+        source=KERNELS["naiveReduce"],
+        target=KERNELS["optimizedReduce"],
+        pow2_bdim=True,
+    ),
+    "MatMul": PairEntry(
+        name="MatMul",
+        source=KERNELS["naiveMatMul"],
+        target=KERNELS["tiledMatMul"],
+        square_block=True,
+    ),
+}
+
+
+@lru_cache(maxsize=None)
+def load(name: str) -> tuple[Kernel, KernelInfo]:
+    """Parse and type-check a registered kernel by name."""
+    entry = KERNELS[name]
+    kernel = parse_kernel(entry.source)
+    return kernel, check_kernel(kernel)
+
+
+def load_pair(name: str) -> tuple[tuple[Kernel, KernelInfo],
+                                  tuple[Kernel, KernelInfo]]:
+    """Parse and type-check a registered equivalence pair by name."""
+    pair = PAIRS[name]
+    return load(pair.source.name), load(pair.target.name)

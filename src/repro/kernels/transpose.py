@@ -1,0 +1,65 @@
+"""The matrix-transpose kernel pair from CUDA SDK 2.0, as used in Section II
+of the paper.
+
+``NAIVE`` suffers non-coalesced global writes; ``OPTIMIZED`` stages a tile
+through shared memory (with the classic ``+1`` padding column to avoid bank
+conflicts) so that both global reads and writes are coalesced.  The paper
+checks (a) the post-condition of the naive kernel, and (b) the equivalence of
+the two kernels, for any thread count.
+
+Faithfulness notes:
+
+* the shared tile is declared ``block[bdim.x][bdim.x + 1]`` exactly as in the
+  paper — the kernel is *only* correct for square blocks, and the paper shows
+  PUGpara flags the non-square configuration (the ``*`` rows of Table II);
+* the valid-configuration assumptions (square block, grid covering the
+  matrix) are supplied by the checkers, not baked into the kernel.
+"""
+
+from __future__ import annotations
+
+NAIVE = """
+// Simplified from the CUDA SDK 2.0 "transpose" sample (naive version).
+__global__ void naiveTranspose(int *odata, int *idata, int width, int height) {
+  int xIndex = bid.x * bdim.x + tid.x;
+  int yIndex = bid.y * bdim.y + tid.y;
+  if (xIndex < width && yIndex < height) {
+    int index_in = xIndex + width * yIndex;
+    int index_out = yIndex + height * xIndex;
+    odata[index_out] = idata[index_in];
+  }
+  int i;
+  int j;
+  postcond(i < width && j < height ==>
+           odata[i * height + j] == idata[j * width + i]);
+}
+"""
+
+OPTIMIZED = """
+// Simplified from the CUDA SDK 2.0 "transpose" sample (optimized version):
+// coalesced reads and writes via a padded shared-memory tile.
+__global__ void optimizedTranspose(int *odata, int *idata, int width, int height) {
+  __shared__ int block[bdim.x][bdim.x + 1];
+
+  // read the matrix tile into shared memory
+  int xIndex = bid.x * bdim.x + tid.x;
+  int yIndex = bid.y * bdim.y + tid.y;
+  if (xIndex < width && yIndex < height) {
+    int index_in = yIndex * width + xIndex;
+    block[tid.y][tid.x] = idata[index_in];
+  }
+  __syncthreads();
+
+  // write the transposed tile to global memory
+  xIndex = bid.y * bdim.y + tid.x;
+  yIndex = bid.x * bdim.x + tid.y;
+  if (xIndex < height && yIndex < width) {
+    int index_out = yIndex * height + xIndex;
+    odata[index_out] = block[tid.x][tid.y];
+  }
+  int i;
+  int j;
+  postcond(i < width && j < height ==>
+           odata[i * height + j] == idata[j * width + i]);
+}
+"""

@@ -1,0 +1,34 @@
+"""The mini-CUDA kernel DSL: lexer, parser, AST, static checks, pretty
+printer, and the concrete reference interpreter.
+
+This is the front end substituting for CUDA C + nvcc in the paper's
+tool-chain: the paper's PUG works on kernel source, and every kernel its
+evaluation uses falls in this subset.
+"""
+
+from .ast import (
+    Assert, Assign, Assume, Barrier, Binary, Block, Builtin, Call, Expr, For,
+    Ident, If, Index, IntLit, Kernel, Param, Postcond, Spec, Stmt, Ternary,
+    Unary, VarDecl,
+)
+from .lexer import Token, tokenize
+from .parser import parse_expr, parse_kernel, parse_kernels
+from .typecheck import ArrayInfo, KernelInfo, check_kernel
+from .pretty import pretty_expr, pretty_kernel, pretty_stmt
+from .interp import (
+    ExecResult, LaunchConfig, RaceReport, check_postconditions, run_kernel,
+)
+
+__all__ = [
+    # ast
+    "Assert", "Assign", "Assume", "Barrier", "Binary", "Block", "Builtin",
+    "Call", "Expr", "For", "Ident", "If", "Index", "IntLit", "Kernel",
+    "Param", "Postcond", "Spec", "Stmt", "Ternary", "Unary", "VarDecl",
+    # front end
+    "Token", "tokenize", "parse_expr", "parse_kernel", "parse_kernels",
+    "ArrayInfo", "KernelInfo", "check_kernel",
+    "pretty_expr", "pretty_kernel", "pretty_stmt",
+    # interpreter
+    "ExecResult", "LaunchConfig", "RaceReport", "check_postconditions",
+    "run_kernel",
+]

@@ -1,0 +1,109 @@
+"""Tokenizer for the mini-CUDA kernel DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "__global__", "__shared__", "__device__", "void", "int", "unsigned",
+    "float", "if", "else", "for", "while", "return", "assume", "assert",
+    "postcond", "spec", "min", "max",
+}
+
+# Longest-match-first operator table.
+_OPERATORS = [
+    "==>", "<<=", ">>=",
+    "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # 'int', 'ident', 'kw', 'op', 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind} {self.text!r} @{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize DSL source.  Supports ``//`` and ``/* */`` comments, decimal
+    and hex integer literals, identifiers, keywords, and the operator set."""
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(source)
+
+    def error(msg: str):
+        raise ParseError(msg, line, col)
+
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                error("unterminated block comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            col = (len(skipped) - skipped.rfind("\n")) if "\n" in skipped else col + len(skipped)
+            i = end + 2
+            continue
+        if c.isdigit():
+            start = i
+            if source.startswith(("0x", "0X"), i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                if i == start + 2:
+                    error("malformed hex literal")
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                # reject float literals explicitly (unsupported, like the paper)
+                if i < n and source[i] == ".":
+                    error("floating-point literals are not supported")
+            text = source[start:i]
+            tokens.append(Token("int", text, line, col))
+            col += i - start
+            continue
+        if c.isalpha() or c == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            error(f"unexpected character {c!r}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

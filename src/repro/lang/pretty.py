@@ -1,0 +1,81 @@
+"""Pretty-printer for the kernel DSL (diagnostics and round-trip tests)."""
+
+from __future__ import annotations
+
+from .ast import (
+    Assert, Assign, Assume, Barrier, Binary, Block, Builtin, Call, Expr, For,
+    Ident, If, Index, IntLit, Kernel, Postcond, Spec, Stmt, Ternary, Unary,
+    VarDecl,
+)
+
+__all__ = ["pretty_expr", "pretty_stmt", "pretty_kernel"]
+
+
+def pretty_expr(e: Expr) -> str:
+    if isinstance(e, IntLit):
+        return str(e.value)
+    if isinstance(e, Ident):
+        return e.name
+    if isinstance(e, Builtin):
+        return f"{e.base}.{e.axis}"
+    if isinstance(e, Unary):
+        inner = pretty_expr(e.operand)
+        if isinstance(e.operand, Unary):
+            inner = f"({inner})"  # avoid '--x' lexing as a decrement token
+        return f"{e.op}{inner}"
+    if isinstance(e, Binary):
+        return f"({pretty_expr(e.left)} {e.op} {pretty_expr(e.right)})"
+    if isinstance(e, Ternary):
+        return (f"({pretty_expr(e.cond)} ? {pretty_expr(e.then)} : "
+                f"{pretty_expr(e.els)})")
+    if isinstance(e, Index):
+        subs = "".join(f"[{pretty_expr(i)}]" for i in e.indices)
+        return f"{e.base.name}{subs}"
+    if isinstance(e, Call):
+        return f"{e.func}({', '.join(pretty_expr(a) for a in e.args)})"
+    raise TypeError(f"unknown expression {type(e).__name__}")  # pragma: no cover
+
+
+def _indent(text: str, by: str = "  ") -> str:
+    return "\n".join(by + line for line in text.splitlines())
+
+
+def pretty_stmt(s: Stmt) -> str:
+    if isinstance(s, Block):
+        inner = "\n".join(pretty_stmt(x) for x in s.stmts)
+        return "{\n" + _indent(inner) + "\n}"
+    if isinstance(s, VarDecl):
+        prefix = "__shared__ " if s.shared else ""
+        dims = "".join(f"[{pretty_expr(d)}]" for d in s.dims)
+        init = f" = {pretty_expr(s.init)}" if s.init is not None else ""
+        return f"{prefix}int {s.name}{dims}{init};"
+    if isinstance(s, Assign):
+        op = f"{s.op}=" if s.op else "="
+        return f"{pretty_expr(s.target)} {op} {pretty_expr(s.value)};"
+    if isinstance(s, Barrier):
+        return "__syncthreads();"
+    if isinstance(s, If):
+        out = f"if ({pretty_expr(s.cond)}) {pretty_stmt(s.then)}"
+        if s.els is not None:
+            out += f" else {pretty_stmt(s.els)}"
+        return out
+    if isinstance(s, For):
+        init = pretty_stmt(s.init).rstrip(";") if s.init else ""
+        cond = pretty_expr(s.cond) if s.cond else ""
+        step = pretty_stmt(s.step).rstrip(";") if s.step else ""
+        return f"for ({init}; {cond}; {step}) {pretty_stmt(s.body)}"
+    if isinstance(s, Assume):
+        return f"assume({pretty_expr(s.cond)});"
+    if isinstance(s, Assert):
+        return f"assert({pretty_expr(s.cond)});"
+    if isinstance(s, Postcond):
+        return f"postcond({pretty_expr(s.cond)});"
+    if isinstance(s, Spec):
+        return f"spec {pretty_stmt(s.body)}"
+    raise TypeError(f"unknown statement {type(s).__name__}")  # pragma: no cover
+
+
+def pretty_kernel(k: Kernel) -> str:
+    params = ", ".join(
+        f"int {'*' if p.is_pointer else ''}{p.name}" for p in k.params)
+    return f"__global__ void {k.name}({params}) {pretty_stmt(k.body)}"

@@ -1,0 +1,292 @@
+"""Static checks and symbol resolution for parsed kernels.
+
+Beyond classic scope/arity checking, this pass enforces the structural
+restrictions the paper's encodings rely on:
+
+* barriers may not sit under thread-dependent control flow (barrier
+  divergence would make the barrier-interval decomposition of Section IV-C
+  meaningless, and is illegal CUDA anyway);
+* loops containing barriers must have thread-independent bounds;
+* ``spec`` blocks appear only at the top level, after the compute code.
+
+The result, a :class:`KernelInfo`, is the symbol-table view every later
+stage (interpreter, both encoders) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TypeCheckError
+from .ast import (
+    Assert, Assign, Assume, Barrier, Binary, Block, Builtin, Call, Expr, For,
+    Ident, If, Index, IntLit, Kernel, Postcond, Spec, Stmt, Ternary, Unary,
+    VarDecl,
+)
+
+__all__ = ["ArrayInfo", "KernelInfo", "check_kernel"]
+
+
+@dataclass(frozen=True)
+class ArrayInfo:
+    """An array symbol: a global (pointer parameter) or ``__shared__`` array.
+
+    ``dims`` holds the declared dimension expressions for shared arrays
+    (empty for 1-D global pointers, whose extent is unconstrained).
+    """
+    name: str
+    shared: bool
+    dims: tuple[Expr, ...] = ()
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims) if self.dims else 1
+
+
+@dataclass
+class KernelInfo:
+    """Symbol and structure summary of one kernel."""
+    kernel: Kernel
+    scalar_params: list[str] = field(default_factory=list)
+    arrays: dict[str, ArrayInfo] = field(default_factory=dict)
+    locals: set[str] = field(default_factory=set)
+    has_barrier: bool = False
+    has_loop: bool = False
+    spec: Spec | None = None
+    postconds: list[Postcond] = field(default_factory=list)
+    assumes: list[Assume] = field(default_factory=list)
+
+    @property
+    def global_arrays(self) -> list[str]:
+        return [n for n, a in self.arrays.items() if not a.shared]
+
+    @property
+    def shared_arrays(self) -> list[str]:
+        return [n for n, a in self.arrays.items() if a.shared]
+
+
+def _mentions_tid(expr: Expr, tid_tainted: set[str]) -> bool:
+    """Whether an expression depends on the thread identity (directly via
+    ``tid`` or through a tainted local)."""
+    if isinstance(expr, Builtin):
+        return expr.base == "tid"
+    if isinstance(expr, Ident):
+        return expr.name in tid_tainted
+    if isinstance(expr, Unary):
+        return _mentions_tid(expr.operand, tid_tainted)
+    if isinstance(expr, Binary):
+        return _mentions_tid(expr.left, tid_tainted) or \
+            _mentions_tid(expr.right, tid_tainted)
+    if isinstance(expr, Ternary):
+        return any(_mentions_tid(e, tid_tainted)
+                   for e in (expr.cond, expr.then, expr.els))
+    if isinstance(expr, Index):
+        return any(_mentions_tid(e, tid_tainted) for e in expr.indices)
+    if isinstance(expr, Call):
+        return any(_mentions_tid(e, tid_tainted) for e in expr.args)
+    return False
+
+
+class _Checker:
+    def __init__(self, kernel: Kernel) -> None:
+        self.info = KernelInfo(kernel=kernel)
+        self.scopes: list[set[str]] = [set()]
+        self.tid_tainted: set[str] = set()
+        self.in_spec = False
+
+    def error(self, node, message: str) -> TypeCheckError:
+        return TypeCheckError(f"line {node.line}: {message}")
+
+    # ----------------------------------------------------------------- scope
+
+    def declare(self, node, name: str) -> None:
+        if self.defined(name) or name in self.info.arrays:
+            raise self.error(node, f"redeclaration of {name!r}")
+        self.scopes[-1].add(name)
+        self.info.locals.add(name)
+
+    def defined(self, name: str) -> bool:
+        return any(name in s for s in self.scopes) or \
+            name in self.info.scalar_params
+
+    # ------------------------------------------------------------------- run
+
+    def run(self) -> KernelInfo:
+        k = self.info.kernel
+        seen: set[str] = set()
+        for p in k.params:
+            if p.name in seen:
+                raise self.error(p, f"duplicate parameter {p.name!r}")
+            seen.add(p.name)
+            if p.is_pointer:
+                self.info.arrays[p.name] = ArrayInfo(name=p.name, shared=False)
+            else:
+                self.info.scalar_params.append(p.name)
+        self.block(k.body, barrier_ok=True, top_level=True)
+        return self.info
+
+    def block(self, blk: Block, barrier_ok: bool, top_level: bool = False) -> None:
+        self.scopes.append(set())
+        after_spec = False
+        for stmt in blk.stmts:
+            if after_spec:
+                raise self.error(stmt, "no statements may follow a spec block")
+            if isinstance(stmt, Spec):
+                if not top_level:
+                    raise self.error(stmt, "spec blocks must be at top level")
+                after_spec = True
+            self.stmt(stmt, barrier_ok, top_level)
+        self.scopes.pop()
+
+    def stmt(self, stmt: Stmt, barrier_ok: bool, top_level: bool = False) -> None:
+        if isinstance(stmt, Block):
+            self.block(stmt, barrier_ok)
+        elif isinstance(stmt, VarDecl):
+            self.var_decl(stmt)
+        elif isinstance(stmt, Assign):
+            self.assign(stmt)
+        elif isinstance(stmt, Barrier):
+            if self.in_spec:
+                raise self.error(stmt, "barriers are meaningless in spec code")
+            if not barrier_ok:
+                raise self.error(
+                    stmt, "barrier under thread-dependent control flow "
+                          "(barrier divergence)")
+            self.info.has_barrier = True
+        elif isinstance(stmt, If):
+            self.expr(stmt.cond)
+            divergent = _mentions_tid(stmt.cond, self.tid_tainted)
+            self.block(stmt.then, barrier_ok and not divergent)
+            if stmt.els is not None:
+                self.block(stmt.els, barrier_ok and not divergent)
+        elif isinstance(stmt, For):
+            self.info.has_loop = True
+            self.scopes.append(set())
+            if stmt.init is not None:
+                self.stmt(stmt.init, barrier_ok=False)
+            if stmt.cond is not None:
+                self.expr(stmt.cond)
+            divergent = stmt.cond is not None and \
+                _mentions_tid(stmt.cond, self.tid_tainted)
+            if stmt.step is not None:
+                self.stmt(stmt.step, barrier_ok=False)
+            self.block(stmt.body, barrier_ok and not divergent)
+            self.scopes.pop()
+        elif isinstance(stmt, (Assume, Assert, Postcond)):
+            self.expr(stmt.cond, spec_context=isinstance(stmt, Postcond))
+            if isinstance(stmt, Postcond) and not self.in_spec:
+                # Spec-block postconds are evaluated by the ghost thread after
+                # the spec code runs; only inline ones are collected here.
+                self.info.postconds.append(stmt)
+            elif isinstance(stmt, Assume):
+                self.info.assumes.append(stmt)
+        elif isinstance(stmt, Spec):
+            if self.info.spec is not None:
+                raise self.error(stmt, "multiple spec blocks")
+            self.info.spec = stmt
+            self.in_spec = True
+            self.block(stmt.body, barrier_ok=False)
+            self.in_spec = False
+        else:  # pragma: no cover
+            raise self.error(stmt, f"unknown statement {type(stmt).__name__}")
+
+    def var_decl(self, decl: VarDecl) -> None:
+        for d in decl.dims:
+            self.expr(d)
+        if decl.shared or decl.dims:
+            if not decl.shared:
+                raise self.error(
+                    decl, "local arrays are not supported; use __shared__")
+            if decl.init is not None:
+                raise self.error(decl, "shared arrays cannot have initializers")
+            if self.defined(decl.name) or decl.name in self.info.arrays:
+                raise self.error(decl, f"redeclaration of {decl.name!r}")
+            if not decl.dims:
+                raise self.error(decl, "shared arrays need explicit dimensions")
+            self.info.arrays[decl.name] = ArrayInfo(
+                name=decl.name, shared=True, dims=decl.dims)
+            return
+        if decl.init is not None:
+            self.expr(decl.init)
+        self.declare(decl, decl.name)
+        if decl.init is not None and _mentions_tid(decl.init, self.tid_tainted):
+            self.tid_tainted.add(decl.name)
+
+    def assign(self, stmt: Assign) -> None:
+        self.expr(stmt.value)
+        target = stmt.target
+        if isinstance(target, Ident):
+            if target.name in self.info.arrays:
+                raise self.error(stmt, f"cannot assign array {target.name!r} "
+                                       "as a scalar")
+            if not self.defined(target.name):
+                raise self.error(stmt, f"assignment to undeclared "
+                                       f"{target.name!r}")
+            value_tainted = _mentions_tid(stmt.value, self.tid_tainted)
+            if stmt.op is not None:
+                value_tainted = value_tainted or target.name in self.tid_tainted
+            if value_tainted:
+                self.tid_tainted.add(target.name)
+            else:
+                self.tid_tainted.discard(target.name)
+        elif isinstance(target, Index):
+            self.index(target)
+        else:  # pragma: no cover - parser prevents this
+            raise self.error(stmt, "bad assignment target")
+
+    # ------------------------------------------------------------ expressions
+
+    def expr(self, e: Expr, spec_context: bool = False) -> None:
+        if isinstance(e, IntLit):
+            return
+        if isinstance(e, Builtin):
+            if self.in_spec and e.base == "tid":
+                raise self.error(e, "tid has no meaning in spec code")
+            return
+        if isinstance(e, Ident):
+            if e.name in self.info.arrays:
+                raise self.error(e, f"array {e.name!r} used as a scalar")
+            if not self.defined(e.name):
+                raise self.error(e, f"undefined variable {e.name!r}")
+            return
+        if isinstance(e, Unary):
+            self.expr(e.operand, spec_context)
+            return
+        if isinstance(e, Binary):
+            if e.op == "==>" and not (spec_context or self.in_spec):
+                raise self.error(e, "==> is only allowed in postconditions")
+            self.expr(e.left, spec_context)
+            self.expr(e.right, spec_context)
+            return
+        if isinstance(e, Ternary):
+            self.expr(e.cond, spec_context)
+            self.expr(e.then, spec_context)
+            self.expr(e.els, spec_context)
+            return
+        if isinstance(e, Index):
+            self.index(e, spec_context)
+            return
+        if isinstance(e, Call):
+            for a in e.args:
+                self.expr(a, spec_context)
+            return
+        raise self.error(e, f"unknown expression {type(e).__name__}")  # pragma: no cover
+
+    def index(self, e: Index, spec_context: bool = False) -> None:
+        arr = self.info.arrays.get(e.base.name)
+        if arr is None:
+            raise self.error(e, f"{e.base.name!r} is not an array")
+        if len(e.indices) != arr.rank:
+            raise self.error(
+                e, f"array {arr.name!r} has rank {arr.rank}, "
+                   f"indexed with {len(e.indices)} subscripts")
+        for i in e.indices:
+            self.expr(i, spec_context)
+
+
+def check_kernel(kernel: Kernel) -> KernelInfo:
+    """Type-check ``kernel`` and return its symbol/structure summary.
+
+    Raises :class:`~repro.errors.TypeCheckError` on any violation.
+    """
+    return _Checker(kernel).run()

@@ -1,0 +1,33 @@
+"""The parameterized encoding (Section IV) — the paper's contribution.
+
+Pipeline: :mod:`segments` (barrier-interval structure) -> :mod:`ca`
+(conditional-assignment extraction over one symbolic thread) ->
+:mod:`resolve` (fresh-thread instantiation and read resolution, Figure 2)
+with :mod:`witness` / :mod:`monotone` discharging the quantified frame
+conditions (Section IV-D) -> :mod:`equivalence` (the checker itself, with
+loop alignment from :mod:`loops`).
+"""
+
+from .geometry import Geometry, ThreadInstance, pow2
+from .segments import LoopSeg, PlainSeg, Segmented, segment_body
+from .loops import IterSpace, parse_header
+from .ca import CA, KernelModel, LoopModel, PlainModel, Read, extract_model
+from .witness import Witness, solve_addr_match
+from .monotone import MonotoneFrame, build_monotone_frame
+from .resolve import (
+    Case, GroupContext, Instantiated, PrestateStore, instantiate,
+    resolve_read, resolve_value,
+)
+from .equivalence import ParamOptions, check_equivalence_param
+
+__all__ = [
+    "Geometry", "ThreadInstance", "pow2",
+    "LoopSeg", "PlainSeg", "Segmented", "segment_body",
+    "IterSpace", "parse_header",
+    "CA", "KernelModel", "LoopModel", "PlainModel", "Read", "extract_model",
+    "Witness", "solve_addr_match",
+    "MonotoneFrame", "build_monotone_frame",
+    "Case", "GroupContext", "Instantiated", "PrestateStore", "instantiate",
+    "resolve_read", "resolve_value",
+    "ParamOptions", "check_equivalence_param",
+]

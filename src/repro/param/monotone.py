@@ -1,0 +1,125 @@
+"""Monotone-address quantifier elimination (Section IV-D).
+
+The frame conditions of the parameterized encoding are universally
+quantified: "*no* thread writes cell ``a``".  For a conditional assignment
+whose address function ``g`` is *increasing* in the (1-D) thread id and
+whose guard ``c`` is a *prefix* predicate (once false, false for all larger
+ids — true of bound-style guards like ``2*k*tid < bdim``), the paper's
+observation applies:
+
+    (forall t: not (a = g(t) and c(t)))
+        <=>  a < g(0),  or the write set is empty,
+             or exists t*: c(t*) and g(t*) < a and
+                           (t*+1 out of range or not c(t*+1) or a < g(t*+1))
+
+The right-hand side has a *single* existential over ``t*``, which sits in
+the premises of a verification condition and therefore universalizes away —
+no quantifier ever reaches the solver.  This module
+
+* proves the two side conditions (monotonicity, prefix guard) as SMT
+  obligations, and
+* builds the gap condition with a fresh ``t*``.
+
+It is used as a *fallback* frame strategy when the constructive witness
+solver cannot discharge coverage: the pre-state case is then included
+*with* the gap condition, keeping the check complete instead of
+under-approximating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..smt import (
+    And, BVAdd, BVConst, Implies, Not, Or, Term, ULt, UGe, fresh_var,
+    iter_dag, substitute,
+)
+from ..smt.sorts import BV
+from .ca import CA, KernelModel
+from .geometry import Geometry, ThreadInstance
+from .resolve import instantiate
+
+__all__ = ["MonotoneFrame", "build_monotone_frame"]
+
+
+@dataclass
+class MonotoneFrame:
+    """A quantifier-free 'cell unwritten' condition for one CA.
+
+    ``condition(cell)`` returns the constraint list (over the fresh witness
+    thread) that is satisfiable exactly when no thread writes ``cell``.
+    """
+    thread: ThreadInstance
+    g_of: Callable[[Term], Term]
+    c_of: Callable[[Term], Term]
+    bound: Term
+    width: int
+
+    def condition(self, cell: Term) -> list[Term]:
+        t = self.thread.tid["x"]
+        succ = BVAdd(t, BVConst(1, self.width))
+        in_gap = And(
+            self.c_of(t), ULt(self.g_of(t), cell),
+            Or(UGe(succ, self.bound), Not(self.c_of(succ)),
+               ULt(cell, self.g_of(succ))))
+        zero = BVConst(0, self.width)
+        empty = Not(self.c_of(zero))
+        below = ULt(cell, self.g_of(zero))
+        return [self.thread.validity(),
+                Or(empty, below, in_gap)]
+
+
+def _only_tid_x(term: Term, thread: ThreadInstance) -> bool:
+    """The term depends on no thread coordinate except ``tid.x``."""
+    others = {thread.tid["y"], thread.tid["z"],
+              thread.bid["x"], thread.bid["y"]}
+    return not any(t in others for t in iter_dag(term))
+
+
+def build_monotone_frame(ca: CA, model: KernelModel, geometry: Geometry,
+                         prove: Callable[[list[Term], list[Term]], bool],
+                         premises: list[Term]) -> MonotoneFrame | None:
+    """Try to build a monotone frame for ``ca``.
+
+    Requirements checked here (syntactic) and via ``prove`` (semantic):
+
+    * rank-1 address and guard over ``tid.x`` only (1-D kernels);
+    * ``g`` strictly increasing on the guarded domain;
+    * the guard is a prefix predicate.
+
+    Returns ``None`` when any requirement fails.
+    """
+    if len(ca.address) != 1:
+        return None
+    width = geometry.width
+    frame_thread = ThreadInstance.fresh(geometry, "gap")
+    inst = instantiate(ca, model, frame_thread)
+    if inst.reads:
+        return None  # the written value is irrelevant, but reads inside the
+        # address/guard would complicate instantiation
+    addr = inst.address[0]
+    guard = inst.guard
+    if not _only_tid_x(addr, frame_thread) or \
+            not _only_tid_x(guard, frame_thread):
+        return None
+    t_var = frame_thread.tid["x"]
+    bound = geometry.bdim["x"]
+
+    def g_of(t: Term) -> Term:
+        return substitute(addr, {t_var: t})
+
+    def c_of(t: Term) -> Term:
+        return substitute(And(guard, ULt(t_var, bound)), {t_var: t})
+
+    # Side condition 1: strict monotonicity on the guarded domain.
+    t1 = fresh_var("mono.t1", BV(width))
+    t2 = fresh_var("mono.t2", BV(width))
+    monotone = Implies(And(ULt(t1, t2), c_of(t1), c_of(t2)),
+                       ULt(g_of(t1), g_of(t2)))
+    # Side condition 2: the guard is a prefix (downward closed).
+    prefix = Implies(And(ULt(t1, t2), c_of(t2)), c_of(t1))
+    if not prove(premises, [monotone, prefix]):
+        return None
+    return MonotoneFrame(thread=frame_thread, g_of=g_of, c_of=c_of,
+                         bound=bound, width=width)

@@ -1,0 +1,291 @@
+"""CA instantiation and read resolution (Section IV-B, Figure 2).
+
+A conditional assignment is a *template* over the kernel's symbolic thread.
+Answering "where does this value come from?" instantiates the template with
+a **fresh** thread instance — the paper's key move ("we introduce a fresh
+variable s1 to denote the ID of the thread writing the value…for the second
+read we cannot use the same s1") — and adds the *matching constraint* that
+the writer's address equals the read address (componentwise, plus equal
+block ids for ``__shared__`` arrays).
+
+Reads that no earlier CA of the group covers take the group's *pre-state*
+value.  Whether that case can be dropped (because the read is provably
+always covered) is decided by a witness-based coverage proof; when it cannot
+be proven, the pre-state case is *omitted* and the result flagged
+incomplete — exactly the paper's under-approximation ("if PUGpara reports a
+bug, then this bug is real; … PUGpara may fail to reveal some bugs").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import EncodingError
+from ..smt import And, Concat, Eq, Select, Term, fresh_var, substitute
+from ..smt.sorts import ARRAY
+from .ca import CA, KernelModel, PlainModel, Read
+from .geometry import Geometry, ThreadInstance
+from .witness import solve_addr_match
+
+__all__ = ["Instantiated", "Case", "GroupContext", "PrestateStore",
+           "instantiate", "resolve_read", "resolve_value",
+           "self_coverage_proven"]
+
+
+@dataclass
+class Instantiated:
+    """A CA with its template thread replaced by a concrete instance."""
+    ca: CA
+    thread: ThreadInstance
+    guard: Term
+    address: tuple[Term, ...]
+    value: Term
+    reads: list[Read]
+
+
+def instantiate(ca: CA, model: KernelModel, thread: ThreadInstance) -> Instantiated:
+    """Rename the CA's template thread to ``thread``, freshening read atoms.
+
+    Fresh atoms per instantiation are essential (Figure 2): two
+    instantiations of the same CA must not share read values.
+    """
+    from ..smt import iter_dag
+    rename = model.thread.renaming(thread)
+    sub = dict(rename)
+    originals: list[Read] = []
+    for t in iter_dag(ca.value, ca.guard, *ca.address):
+        read = model.reads_by_atom.get(t)
+        if read is not None and t not in sub:
+            sub[t] = fresh_var(f"{read.array}.rd", t.sort)
+            originals.append(read)
+    guard = substitute(ca.guard, sub)
+    address = tuple(substitute(a, sub) for a in ca.address)
+    value = substitute(ca.value, sub)
+    reads = [Read(atom=sub[r.atom], array=r.array,
+                  address=tuple(substitute(a, sub) for a in r.address),
+                  bi=r.bi)
+             for r in originals]
+    return Instantiated(ca=ca, thread=thread, guard=guard, address=address,
+                        value=value, reads=reads)
+
+
+@dataclass
+class Case:
+    """One way a value can arise: constraints to assume, the value term, and
+    the thread instances introduced along the way."""
+    constraints: list[Term] = field(default_factory=list)
+    value: Term | None = None
+    threads: list[ThreadInstance] = field(default_factory=list)
+    via: str = ""
+
+
+@dataclass
+class GroupContext:
+    """Resolution context for one aligned segment group of one kernel."""
+
+    model: KernelModel
+    plains: list[PlainModel]
+    geometry: Geometry
+    hint: str
+    # prestate(array, address_components, bid) -> value term
+    prestate: Callable[[str, tuple[Term, ...], dict[str, Term]], Term]
+    # prove(premises, obligations) -> bool: discharge a coverage VC
+    prove: Callable[[list[Term], list[Term]], bool]
+    bughunt: bool = False
+    incomplete_reads: list[str] = field(default_factory=list)
+
+    def is_shared(self, array: str) -> bool:
+        return self.model.info.arrays[array].shared
+
+    def writers_of(self, array: str, before_bi: int) -> list[CA]:
+        cas: list[CA] = []
+        bis = set()
+        for plain in self.plains:
+            if plain.index >= before_bi:
+                continue
+            for ca in plain.cas:
+                if ca.array == array:
+                    cas.append(ca)
+                    bis.add(plain.index)
+        if len(bis) > 1:
+            raise EncodingError(
+                f"array {array!r} is written in {len(bis)} earlier barrier "
+                "intervals of one group; chained multi-interval overwrites "
+                "are outside the supported fragment")
+        return cas
+
+
+def resolve_read(read: Read, ctx: GroupContext,
+                 reader: ThreadInstance,
+                 premises: list[Term], depth: int = 0) -> list[Case]:
+    """All ways ``read`` can obtain its value."""
+    if depth > 8:
+        raise EncodingError("read resolution exceeded chaining depth")
+    writers = ctx.writers_of(read.array, read.bi)
+    shared = ctx.is_shared(read.array)
+    cases: list[Case] = []
+    for ca in writers:
+        thread = ThreadInstance.fresh(
+            ctx.geometry, f"{ctx.hint}w",
+            bid=reader.bid if shared else None)
+        inst = instantiate(ca, ctx.model, thread)
+        match = [Eq(a, b) for a, b in zip(inst.address, read.address)]
+        base = Case(constraints=[thread.validity(), inst.guard, *match],
+                    value=inst.value, threads=[thread],
+                    via=f"{read.array}@{ca.line}")
+        # Recursively resolve the writer's own reads.
+        sub_cases = resolve_value(inst.value, inst.reads, ctx, thread,
+                                  premises + base.constraints, depth + 1)
+        for sub in sub_cases:
+            cases.append(Case(
+                constraints=base.constraints + sub.constraints,
+                value=sub.value,
+                threads=base.threads + sub.threads,
+                via=base.via + ("+" + sub.via if sub.via else "")))
+
+    # Pre-state case: only sound to include with a "no writer matches" side
+    # condition, which is quantified.  Strategy ladder (Section IV-D):
+    #   1. no writers at all: the pre-state case is unconditional;
+    #   2. prove the read always covered (constructive witness) and drop it;
+    #   3. monotone-gap quantifier elimination: include the pre-state case
+    #      *with* the paper's g(t) < a < g(t+1) condition;
+    #   4. drop it and flag incompleteness (the paper's under-approximation;
+    #      always taken in bughunt mode).
+    if not writers:
+        value = ctx.prestate(read.array, read.address, reader.bid)
+        cases.append(Case(constraints=[], value=value, via="pre"))
+        return cases
+    if ctx.bughunt:
+        ctx.incomplete_reads.append(
+            f"{read.array} read in interval {read.bi} (bughunt)")
+        return cases
+    if self_coverage_proven(read, ctx, reader, premises):
+        return cases
+    gap = _monotone_gap(read, ctx, premises)
+    if gap is not None:
+        value = ctx.prestate(read.array, read.address, reader.bid)
+        cases.append(Case(constraints=gap, value=value, via="pre/gap"))
+        return cases
+    ctx.incomplete_reads.append(
+        f"{read.array} read in interval {read.bi}")
+    return cases
+
+
+def _monotone_gap(read: Read, ctx: GroupContext,
+                  premises: list[Term]) -> list[Term] | None:
+    """Monotone-gap 'cell unwritten' constraints for the read's cell
+    (Section IV-D); only available for a single rank-1 writer."""
+    from .monotone import build_monotone_frame
+    writers = ctx.writers_of(read.array, read.bi)
+    if len(writers) != 1 or len(read.address) != 1:
+        return None
+    frame = build_monotone_frame(writers[0], ctx.model, ctx.geometry,
+                                 ctx.prove, premises)
+    if frame is None:
+        return None
+    return frame.condition(read.address[0])
+
+
+def self_coverage_proven(read: Read, ctx: GroupContext,
+                         reader: ThreadInstance,
+                         premises: list[Term]) -> bool:
+    """Prove the read is always covered by some writer (so the pre-state
+    case is impossible): derive a witness writer and discharge the VC
+    ``premises => validity(witness) and guard(witness)``."""
+    for ca in ctx.writers_of(read.array, read.bi):
+        thread = ThreadInstance.fresh(
+            ctx.geometry, f"{ctx.hint}c",
+            bid=reader.bid if ctx.is_shared(read.array) else None)
+        inst = instantiate(ca, ctx.model, thread)
+        wit = solve_addr_match(inst.address, read.address, thread,
+                               ctx.geometry)
+        if wit is None:
+            continue
+        obligations = [substitute(thread.validity(), wit.substitution),
+                       substitute(inst.guard, wit.substitution),
+                       *wit.obligations]
+        if ctx.prove(premises, obligations):
+            return True
+    return False
+
+
+def resolve_value(value: Term, reads: list[Read], ctx: GroupContext,
+                  reader: ThreadInstance, premises: list[Term],
+                  depth: int = 0) -> list[Case]:
+    """Resolve every read atom inside ``value``; returns the cartesian cases
+    (each read contributes its alternatives — Figure 1's xor chain)."""
+    if not reads:
+        return [Case(value=value)]
+    per_read: list[list[tuple[Read, Case]]] = []
+    for read in reads:
+        options = resolve_read(read, ctx, reader, premises, depth)
+        if not options:
+            raise EncodingError(
+                f"no resolution for read of {read.array!r} (uncovered read "
+                "with no pre-state?)")
+        per_read.append([(read, c) for c in options])
+    out: list[Case] = []
+    for combo in itertools.product(*per_read):
+        sub = {read.atom: case.value for read, case in combo}
+        constraints: list[Term] = []
+        threads: list[ThreadInstance] = []
+        vias: list[str] = []
+        for _, case in combo:
+            constraints.extend(case.constraints)
+            threads.extend(case.threads)
+            if case.via:
+                vias.append(case.via)
+        out.append(Case(constraints=constraints,
+                        value=substitute(value, sub),
+                        threads=threads, via=",".join(vias)))
+    return out
+
+
+class PrestateStore:
+    """Pre-state arrays for one segment group.
+
+    The value of ``array[address]`` at group entry (for block ``bid`` when
+    the array is ``__shared__``) is a select from an SMT array over the
+    concatenation of the block-id and address components: two reads agree
+    exactly when all components agree, so functional consistency comes free
+    from the array theory.
+
+    ``key`` distinguishes the two kernels *except* for arrays the checker
+    declared common (same name, inductively equal at the boundary): those
+    share one pre-state variable — that sharing *is* the induction
+    hypothesis of the loop rule.
+    """
+
+    def __init__(self, group_id: int, width: int,
+                 common_arrays: set[str],
+                 initial_globals: dict[str, Term] | None = None) -> None:
+        self.group_id = group_id
+        self.width = width
+        self.common = common_arrays
+        self.initial_globals = initial_globals or {}
+        self._vars: dict[tuple[str, str, int], Term] = {}
+
+    def select(self, kernel_key: str, array: str, shared: bool,
+               address: tuple[Term, ...], bid: dict[str, Term]) -> Term:
+        if not shared and array in self.initial_globals:
+            # First group: global pre-state is the kernel input array itself
+            # (shared between both kernels — "the same idata").
+            assert len(address) == 1
+            return Select(self.initial_globals[array], address[0])
+        components = list(address)
+        if shared:
+            components = [bid["y"], bid["x"], *components]
+        key_width = self.width * len(components)
+        owner = "common" if array in self.common else kernel_key
+        cache_key = (owner, array, key_width)
+        var = self._vars.get(cache_key)
+        if var is None:
+            var = fresh_var(f"{array}.pre{self.group_id}.{owner}",
+                            ARRAY(key_width, self.width))
+            self._vars[cache_key] = var
+        key = components[0]
+        for c in components[1:]:
+            key = Concat(key, c)
+        return Select(var, key)

@@ -1,0 +1,148 @@
+"""Barrier-interval segmentation of a kernel body (Section IV-C/IV-E).
+
+The parameterized encoder works on a *segment* view of the kernel:
+
+* a :class:`PlainSeg` is one barrier interval — a maximal run of statements
+  between barriers;
+* a :class:`LoopSeg` is a barrier-synchronized loop (one whose body contains
+  barriers): its body is itself a list of segments, executed once per
+  iteration.
+
+Structural requirements (raising :class:`~repro.errors.EncodingError`
+otherwise — these are the same alignment restrictions the paper states for
+its loop rule):
+
+* a barrier-synchronized loop must start on a barrier-interval boundary
+  (i.e. a barrier, or nothing, immediately precedes it), and
+* its body must *end* with a barrier, so iterations do not share intervals.
+
+``postcond`` and ``spec`` statements are collected separately — they are
+specification, not computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..errors import EncodingError
+from ..lang.ast import (
+    Assert, Assume, Barrier, Block, For, If, Postcond, Spec, Stmt,
+)
+
+__all__ = ["PlainSeg", "LoopSeg", "Segment", "Segmented", "segment_body",
+           "contains_barrier"]
+
+
+def contains_barrier(stmt: Stmt) -> bool:
+    if isinstance(stmt, Barrier):
+        return True
+    if isinstance(stmt, Block):
+        return any(contains_barrier(s) for s in stmt.stmts)
+    if isinstance(stmt, If):
+        return contains_barrier(stmt.then) or \
+            (stmt.els is not None and contains_barrier(stmt.els))
+    if isinstance(stmt, For):
+        return contains_barrier(stmt.body)
+    return False
+
+
+def _ends_with_barrier(stmts: tuple[Stmt, ...]) -> bool:
+    """Whether the last (non-block-nested) statement is a barrier."""
+    while stmts:
+        last = stmts[-1]
+        if isinstance(last, Barrier):
+            return True
+        if isinstance(last, Block):
+            stmts = last.stmts
+            continue
+        return False
+    return False
+
+
+@dataclass(frozen=True)
+class PlainSeg:
+    """One barrier interval: straight-line statements (with loop-free,
+    barrier-free control flow inside)."""
+    stmts: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class LoopSeg:
+    """A barrier-synchronized loop: ``body`` is the per-iteration segment
+    list (the trailing barrier is the iteration boundary)."""
+    loop: For
+    body: tuple["Segment", ...]
+
+
+Segment = Union[PlainSeg, LoopSeg]
+
+
+@dataclass
+class Segmented:
+    """Segmentation result for one kernel body."""
+    segments: list[Segment]
+    postconds: list[Postcond] = field(default_factory=list)
+    spec: Spec | None = None
+
+
+def _split(stmts: tuple[Stmt, ...], out: Segmented,
+           top_level: bool) -> list[Segment]:
+    segments: list[Segment] = []
+    current: list[Stmt] = []
+
+    def close() -> None:
+        segments.append(PlainSeg(stmts=tuple(current)))
+        current.clear()
+
+    for stmt in stmts:
+        if isinstance(stmt, Barrier):
+            close()
+            continue
+        if isinstance(stmt, Postcond):
+            if not top_level:
+                raise EncodingError(
+                    f"line {stmt.line}: postcond must be at top level for "
+                    "the parameterized encoding")
+            out.postconds.append(stmt)
+            continue
+        if isinstance(stmt, Spec):
+            out.spec = stmt
+            continue
+        if isinstance(stmt, For) and contains_barrier(stmt):
+            if current:
+                if any(not isinstance(s, Assume) for s in current):
+                    raise EncodingError(
+                        f"line {stmt.line}: a barrier-synchronized loop must "
+                        "start at a barrier-interval boundary (insert a "
+                        "__syncthreads() before the loop)")
+                close()  # an assume-only interval writes nothing: keep it
+            if not _ends_with_barrier(stmt.body.stmts):
+                raise EncodingError(
+                    f"line {stmt.line}: the body of a barrier-synchronized "
+                    "loop must end with __syncthreads() so iterations do "
+                    "not share a barrier interval")
+            body = _split(stmt.body.stmts, out, top_level=False)
+            if body and isinstance(body[-1], PlainSeg) and not body[-1].stmts:
+                body = body[:-1]
+            segments.append(LoopSeg(loop=stmt, body=tuple(body)))
+            continue
+        if isinstance(stmt, (If, Block)) and contains_barrier(stmt):
+            raise EncodingError(
+                f"line {stmt.line}: barriers under conditionals are not "
+                "supported by the parameterized encoding")
+        current.append(stmt)
+    if current or not segments:
+        close()
+    return segments
+
+
+def segment_body(body: Block) -> Segmented:
+    """Segment a kernel body into barrier intervals and synchronized loops."""
+    out = Segmented(segments=[])
+    out.segments = _split(body.stmts, out, top_level=True)
+    # Drop a trailing empty interval (kernel ended on a barrier).
+    if len(out.segments) > 1 and isinstance(out.segments[-1], PlainSeg) \
+            and not out.segments[-1].stmts:
+        out.segments.pop()
+    return out

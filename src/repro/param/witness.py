@@ -1,0 +1,256 @@
+"""Witness derivation: solving address equations for thread coordinates.
+
+The quantified formulas of Section IV arise from questions of the form
+"does *some* thread write this cell?".  The paper eliminates the existential
+either by exploiting monotone address functions (Section IV-D) or by
+introducing fresh variables when the match is forced.  This module
+implements a constructive variant: given the equation
+
+    write_address(theta) == a        (componentwise for 2-D addresses)
+
+it *solves* for the writer's coordinates ``theta``, producing a substitution
+plus side-condition obligations (divisibility for strided addresses, the
+original equations re-checked at the witness, …).  The caller conjoins the
+obligations into a verification condition; if the VC is valid, the
+existential is discharged — no quantifier ever reaches the solver.
+
+Solving proceeds in two layers:
+
+1. **composites** — an axis whose ``tid.a`` and ``bid.a`` both occur is
+   folded into the canonical *global index* ``G_a = bid.a * bdim.a + tid.a``
+   when the polynomial structure matches (every monomial ``tid.a * r`` is
+   mirrored by ``bid.a * bdim.a * r``); assigning ``G_a = T`` later unfolds
+   to ``tid.a = T % bdim.a``, ``bid.a = T / bdim.a`` — the mixed-radix
+   witness;
+2. **equation shapes** over the remaining unknowns (plain or composite):
+
+   * ``u + c == a``                  ->  ``u = a - c``
+   * ``s*u + c == a``                ->  ``u = (a-c)/s``, obligation
+     ``s | a-c`` (and ``s != 0`` for symbolic strides)
+   * ``u + M*v + c == a`` (M free of unknowns) -> ``u = (a-c) % M``,
+     ``v = (a-c) / M`` — the row-major 2-D decomposition used by the
+     transpose kernels.
+
+Axis variables not mentioned by any equation are set to 0 (valid because
+dimensions are at least 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..smt import (
+    BVConst, BVLshr, BVSub, BVUDiv, BVURem, Eq, Ne, Term, iter_dag, substitute,
+)
+from ..smt.poly import Poly, poly_of, poly_to_term
+from ..smt.sorts import BV, BitVecSort
+from ..smt.terms import BVAnd, Kind, fresh_var
+from .geometry import Geometry, ThreadInstance
+
+__all__ = ["Witness", "solve_addr_match"]
+
+
+@dataclass
+class Witness:
+    """A derived writer thread: coordinate substitution plus obligations the
+    verification condition must prove for the witness to be genuine."""
+    substitution: dict[Term, Term] = field(default_factory=dict)
+    obligations: list[Term] = field(default_factory=list)
+
+
+def _fold_composites(poly: Poly, unknowns: set[Term], thread: ThreadInstance,
+                     geometry: Geometry, width: int
+                     ) -> tuple[Poly, dict[Term, tuple[Term, Term, Term]]] | None:
+    """Rewrite ``poly`` over composite global-index pseudo-variables.
+
+    Returns ``(new_poly, composites)`` where ``composites`` maps each pseudo
+    variable to ``(tid_var, bid_var, bdim_term)``; ``None`` when an axis
+    appears in an unfoldable pattern.
+    """
+    composites: dict[Term, tuple[Term, Term, Term]] = {}
+    out: Poly = dict(poly)
+    used_bids: set[Term] = set()
+    for tid_axis in ("x", "y", "z"):
+        tid_v = thread.tid[tid_axis]
+        if tid_v not in unknowns:
+            continue
+        tid_monos = {m: c for m, c in out.items() if tid_v in m}
+        if not tid_monos:
+            continue
+        # Try pairing with each block axis — optimized kernels deliberately
+        # swap axes (the transpose writes with bid.y*bdim.y + tid.x), and the
+        # resulting cross-axis witness carries the square-block requirement
+        # into its validity obligation.
+        for bid_axis in (tid_axis, "x", "y"):
+            if bid_axis == "z":
+                continue
+            bid_v = thread.bid.get(bid_axis)
+            if bid_v is None or bid_v not in unknowns or bid_v in used_bids:
+                continue
+            bdim = geometry.bdim[bid_axis]
+            trial: Poly = dict(out)
+            pseudo = fresh_var(f"G.{tid_axis}{bid_axis}", BV(width))
+            ok = True
+            for mono, coeff in tid_monos.items():
+                if mono.count(tid_v) != 1:
+                    ok = False
+                    break
+                rest = tuple(t for t in mono if t is not tid_v)
+                partner = tuple(sorted((*rest, bid_v, bdim),
+                                       key=lambda t: t.tid))
+                if trial.get(partner) != coeff:
+                    ok = False
+                    break
+                pseudo_mono = tuple(sorted((*rest, pseudo),
+                                           key=lambda t: t.tid))
+                del trial[mono]
+                del trial[partner]
+                trial[pseudo_mono] = coeff
+            if not ok:
+                continue
+            if any(bid_v in m for m in trial):
+                continue  # bid occurrences left over: bad pairing
+            out = trial
+            used_bids.add(bid_v)
+            composites[pseudo] = (tid_v, bid_v, bdim)
+            break
+    # Any unpaired bid unknowns still present are fine — the solver treats
+    # them as plain unknowns downstream.
+    return out, composites
+
+
+def _poly_unknowns(poly: Poly, unknowns: set[Term]) -> set[Term]:
+    found: set[Term] = set()
+    for mono in poly:
+        for atom in mono:
+            if atom in unknowns:
+                found.add(atom)
+            else:
+                for sub in iter_dag(atom):
+                    if sub in unknowns:
+                        return {None}  # type: ignore[arg-type]  # buried: bail
+    return found
+
+
+def _split_by_var(poly: Poly, var: Term, width: int
+                  ) -> tuple[Poly, Poly] | None:
+    """``poly = coeff * var + rest``; None if ``var`` appears non-linearly."""
+    coeff: Poly = {}
+    rest: Poly = {}
+    for mono, c in poly.items():
+        n = mono.count(var)
+        if n == 0:
+            rest[mono] = c
+        elif n == 1:
+            coeff[tuple(t for t in mono if t is not var)] = c
+        else:
+            return None
+    return coeff, rest
+
+
+def _solve_equation(lhs_poly: Poly, rhs: Term, unknowns: set[Term],
+                    wit: Witness, width: int) -> bool:
+    """Solve one linear equation over at most two unknowns."""
+    sort = BV(width)
+    present = _poly_unknowns(lhs_poly, unknowns)
+    if None in present:
+        return False
+    present_sorted = sorted(present, key=lambda t: t.tid)
+    if not present_sorted:
+        wit.obligations.append(Eq(poly_to_term(lhs_poly, sort), rhs))
+        return True
+    if len(present_sorted) == 1:
+        var = present_sorted[0]
+        split = _split_by_var(lhs_poly, var, width)
+        if split is None:
+            return False
+        coeff_p, rest_p = split
+        coeff = poly_to_term(coeff_p, sort)
+        rhs_adj = BVSub(rhs, poly_to_term(rest_p, sort))
+        if coeff.kind == Kind.BVCONST and coeff.payload == 1:
+            wit.substitution[var] = rhs_adj
+        elif coeff.kind == Kind.BVCONST and coeff.payload != 0 and \
+                coeff.payload & (coeff.payload - 1) == 0:
+            shift = coeff.payload.bit_length() - 1
+            wit.substitution[var] = BVLshr(rhs_adj, BVConst(shift, width))
+            wit.obligations.append(
+                Eq(BVAnd(rhs_adj, BVConst(coeff.payload - 1, width)), 0))
+        else:
+            wit.substitution[var] = BVUDiv(rhs_adj, coeff)
+            wit.obligations.append(Ne(coeff, 0))
+            wit.obligations.append(Eq(BVURem(rhs_adj, coeff), 0))
+        return True
+    if len(present_sorted) == 2:
+        # u + M*v + c == rhs with M free of unknowns.
+        for u, v in (present_sorted, present_sorted[::-1]):
+            su = _split_by_var(lhs_poly, u, width)
+            if su is None:
+                continue
+            cu, rest_u = su
+            if cu != {(): 1}:
+                continue
+            sv = _split_by_var(rest_u, v, width)
+            if sv is None:
+                continue
+            cv, rest_p = sv
+            if _poly_unknowns(cv, unknowns) or _poly_unknowns(rest_p, unknowns):
+                continue
+            radix = poly_to_term(cv, sort)
+            rhs_adj = BVSub(rhs, poly_to_term(rest_p, sort))
+            wit.substitution[u] = BVURem(rhs_adj, radix)
+            wit.substitution[v] = BVUDiv(rhs_adj, radix)
+            return True
+    return False
+
+
+def solve_addr_match(write_address: tuple[Term, ...],
+                     cell: tuple[Term, ...],
+                     thread: ThreadInstance,
+                     geometry: Geometry) -> Witness | None:
+    """Solve ``write_address(thread) == cell`` for ``thread``'s coordinates.
+
+    Returns a :class:`Witness` or ``None`` when no supported shape applies.
+    The caller must additionally prove ``validity(thread)`` and the writer's
+    guard under the returned substitution.
+    """
+    assert len(write_address) == len(cell)
+    unknowns = set(thread.unknown_vars())
+    width = geometry.width
+    wit = Witness()
+
+    pending: list[tuple[Term, Term]] = list(zip(write_address, cell))
+    progress = True
+    while pending and progress:
+        progress = False
+        rest: list[tuple[Term, Term]] = []
+        for lhs, rhs in pending:
+            lhs_sub = substitute(lhs, wit.substitution)
+            poly = poly_of(lhs_sub)
+            folded = _fold_composites(poly, unknowns, thread, geometry, width)
+            composites: dict[Term, tuple[Term, Term, Term]] = {}
+            if folded is not None:
+                poly, composites = folded
+            eq_unknowns = unknowns | set(composites)
+            if _solve_equation(poly, rhs, eq_unknowns, wit, width):
+                # Unfold composite assignments into tid/bid coordinates.
+                for pseudo, (tid_v, bid_v, bdim) in composites.items():
+                    value = wit.substitution.pop(pseudo, None)
+                    if value is None:
+                        continue  # composite did not occur after all
+                    wit.substitution[tid_v] = BVURem(value, bdim)
+                    wit.substitution[bid_v] = BVUDiv(value, bdim)
+                progress = True
+            else:
+                rest.append((lhs, rhs))
+        pending = rest
+    if pending:
+        return None
+
+    full = dict(wit.substitution)
+    for var in unknowns:
+        full.setdefault(var, BVConst(0, width))
+    wit.substitution = full
+    # Defence in depth: re-check every original equation at the witness.
+    for lhs, rhs in zip(write_address, cell):
+        wit.obligations.append(Eq(substitute(lhs, full), rhs))
+    return wit

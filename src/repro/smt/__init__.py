@@ -1,0 +1,52 @@
+"""A from-scratch SMT solver for QF_ABV (bit-vectors + arrays).
+
+This package substitutes for Z3, which the paper used but which is not
+available offline here.  The public API intentionally mirrors the small slice
+of z3py that PUGpara scripted against: term constructors, a ``Solver`` with
+``add``/``check``/``model``, and timeouts that surface as ``UNKNOWN``.
+
+Layers (bottom-up):
+
+- :mod:`repro.smt.sat` — CDCL SAT core;
+- :mod:`repro.smt.cnf` / :mod:`repro.smt.bitblast` — Tseitin gates and
+  bit-vector circuits;
+- :mod:`repro.smt.arrays` — QF_ABV -> QF_BV (write-chain expansion +
+  Ackermann);
+- :mod:`repro.smt.terms` / :mod:`repro.smt.simplify` / :mod:`repro.smt.poly`
+  — hash-consed terms and algebraic normalization;
+- :mod:`repro.smt.solver` — the facade tying it together.
+"""
+
+from .sorts import ARRAY, BOOL, BV, ArraySort, BitVecSort, Sort
+from .terms import (
+    TRUE, FALSE, And, ArrayVar, BoolConst, BoolVar, BVAdd, BVAnd, BVAshr,
+    BVConst, BVLshr, BVMul, BVNeg, BVNot, BVOr, BVShl, BVSub, BVUDiv, BVURem,
+    BVVar, BVXor, Concat, Distinct, Eq, Extract, Iff, Implies, Ite, Kind, Ne,
+    Not, Or, Select, SGe, SGt, SignExt, SLe, SLt, Store, Term, UGe, UGt, ULe,
+    ULt, Var, Xor, ZeroExt, collect, fresh_name, fresh_var, iter_dag,
+    term_size,
+)
+from .simplify import simplify, simplify_all
+from .substitute import evaluate, substitute
+from .printer import script_smtlib, to_smtlib, to_str
+from .model import Model
+from .solver import CheckResult, Solver, check_valid, is_satisfiable
+
+__all__ = [
+    # sorts
+    "ARRAY", "BOOL", "BV", "ArraySort", "BitVecSort", "Sort",
+    # terms
+    "TRUE", "FALSE", "And", "ArrayVar", "BoolConst", "BoolVar", "BVAdd",
+    "BVAnd", "BVAshr", "BVConst", "BVLshr", "BVMul", "BVNeg", "BVNot", "BVOr",
+    "BVShl", "BVSub", "BVUDiv", "BVURem", "BVVar", "BVXor", "Concat",
+    "Distinct", "Eq", "Extract", "Iff", "Implies", "Ite", "Kind", "Ne", "Not",
+    "Or", "Select", "SGe", "SGt", "SignExt", "SLe", "SLt", "Store", "Term",
+    "UGe", "UGt", "ULe", "ULt", "Var", "Xor", "ZeroExt", "collect",
+    "fresh_name", "fresh_var", "iter_dag", "term_size",
+    # transforms
+    "simplify", "simplify_all", "substitute", "evaluate",
+    # printing
+    "script_smtlib", "to_smtlib", "to_str",
+    # solving
+    "CheckResult", "Model", "Solver", "check_valid", "is_satisfiable",
+]

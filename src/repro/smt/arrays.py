@@ -1,0 +1,167 @@
+"""Reduction of QF_ABV to QF_BV.
+
+Two passes:
+
+1. **Write-chain expansion** — every ``select`` over a ``store`` chain (or an
+   ite of arrays) is rewritten into an ite chain over index equalities::
+
+       select(store(a, i, v), j)  -->  ite(i = j, v, select(a, j))
+
+   The index equalities go through the polynomial engine first, so reads that
+   provably hit (or provably miss) a write collapse without any ite.  After
+   this pass every remaining ``select`` applies to a base array *variable*.
+
+2. **Ackermann reduction** — for each base array variable, the distinct read
+   indices ``i_1 .. i_m`` get fresh element variables ``r_1 .. r_m``, plus the
+   functional-consistency constraints ``i_j = i_k  =>  r_j = r_k``.  Reads
+   whose indices are syntactically equal modulo the polynomial normal form
+   share one variable; reads whose indices provably differ skip their
+   constraint.
+
+The returned :class:`ArrayInfo` lets the model layer reconstruct concrete
+array contents for counterexample replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .poly import poly_of, poly_add, poly_neg, poly_to_term
+from .simplify import index_difference, simplify
+from .sorts import ArraySort
+from .substitute import rebuild
+from .terms import Eq, Implies, Ite, Kind, Select, Term, fresh_var
+from ..errors import SolverError
+
+__all__ = ["ArrayInfo", "eliminate_arrays"]
+
+
+@dataclass
+class ArrayInfo:
+    """Bookkeeping from the Ackermann reduction.
+
+    ``reads`` maps each base array variable to its list of
+    ``(index_term, element_var)`` pairs, in first-seen order.
+    """
+
+    reads: dict[Term, list[tuple[Term, Term]]] = field(default_factory=dict)
+
+    def element_vars(self) -> list[Term]:
+        return [var for pairs in self.reads.values() for _, var in pairs]
+
+
+def _canonical_index(index: Term) -> Term:
+    """Polynomial-canonical form of an index, used as the dedup key."""
+    sort = index.sort
+    return poly_to_term(poly_of(index), sort)
+
+
+def _expand_select(array: Term, index: Term,
+                   cache: dict[tuple[Term, Term], Term]) -> Term:
+    """Resolve ``select(array, index)`` down to base-variable selects."""
+    key = (array, index)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    k = array.kind
+    if k == Kind.STORE:
+        base, widx, wval = array.args
+        d = index_difference(widx, index)
+        if d == 0:
+            out = wval
+        elif d is not None:
+            out = _expand_select(base, index, cache)
+        else:
+            out = Ite(Eq(widx, index), wval, _expand_select(base, index, cache))
+    elif k == Kind.ITE:
+        cond, then, els = array.args
+        out = Ite(cond,
+                  _expand_select(then, index, cache),
+                  _expand_select(els, index, cache))
+    elif k == Kind.VAR:
+        out = Select(array, index)
+    else:
+        raise SolverError(f"unsupported array term kind {k.name}")
+    cache[key] = out
+    return out
+
+
+def eliminate_arrays(assertions: list[Term]) -> tuple[list[Term], ArrayInfo]:
+    """Rewrite ``assertions`` into an equisatisfiable array-free form.
+
+    Raises :class:`SolverError` on array equalities (extensionality), which
+    the paper's encodings never produce — outputs are always compared
+    element-wise at a symbolic index.
+    """
+    select_cache: dict[tuple[Term, Term], Term] = {}
+    rewrite_cache: dict[Term, Term] = {}
+
+    def expand(t: Term) -> Term:
+        hit = rewrite_cache.get(t)
+        if hit is not None:
+            return hit
+        if t.kind == Kind.EQ and isinstance(t.args[0].sort, ArraySort):
+            raise SolverError("array extensionality is not supported")
+        if not t.args:
+            out = t
+        else:
+            new_args = tuple(expand(a) for a in t.args)
+            if t.kind == Kind.SELECT:
+                out = _expand_select(new_args[0], new_args[1], select_cache)
+            else:
+                out = rebuild(t, new_args)
+        rewrite_cache[t] = out
+        return out
+
+    import sys
+    if sys.getrecursionlimit() < 100_000:
+        sys.setrecursionlimit(100_000)
+
+    expanded = [expand(t) for t in assertions]
+
+    # Ackermann reduction over the remaining base-variable selects.
+    info = ArrayInfo()
+    # (array_var, canonical_index) -> element var
+    assigned: dict[tuple[Term, Term], Term] = {}
+    replacement: dict[Term, Term] = {}
+
+    def ackermann(t: Term) -> Term:
+        hit = replacement.get(t)
+        if hit is not None:
+            return hit
+        if not t.args:
+            out = t
+        else:
+            new_args = tuple(ackermann(a) for a in t.args)
+            if t.kind == Kind.SELECT:
+                array, index = new_args
+                assert array.kind == Kind.VAR
+                canon = _canonical_index(index)
+                key = (array, canon)
+                var = assigned.get(key)
+                if var is None:
+                    var = fresh_var(f"{array.payload}@", array.sort.elem_sort)
+                    assigned[key] = var
+                    info.reads.setdefault(array, []).append((index, var))
+                out = var
+            else:
+                out = rebuild(t, new_args)
+        replacement[t] = out
+        return out
+
+    out_assertions = [ackermann(t) for t in expanded]
+
+    # Functional consistency: i_j = i_k  =>  r_j = r_k.
+    for array, pairs in info.reads.items():
+        for j in range(len(pairs)):
+            idx_j, var_j = pairs[j]
+            for k in range(j + 1, len(pairs)):
+                idx_k, var_k = pairs[k]
+                d = index_difference(idx_j, idx_k)
+                if d is not None:
+                    # 0 cannot happen (deduped); non-zero constant: no aliasing.
+                    continue
+                out_assertions.append(
+                    Implies(Eq(idx_j, idx_k), Eq(var_j, var_k)))
+
+    return out_assertions, info

@@ -1,0 +1,170 @@
+"""Tseitin transformation primitives.
+
+:class:`GateBuilder` wraps a :class:`~repro.smt.sat.SATSolver` and offers
+gate-level constructors (`AND`, `OR`, `XOR`, `ITE`, `IFF`) that allocate a
+fresh output literal and emit the defining clauses.  Gates are cached by
+their (operator, sorted inputs) signature, so the circuit stays a DAG even
+when the term DAG is re-traversed.
+
+The constant literals ``true_lit``/``false_lit`` are two polarities of one
+reserved variable forced at level 0, which lets the bit-blaster treat
+constant bits uniformly as literals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .sat import SATSolver
+
+__all__ = ["GateBuilder"]
+
+
+class GateBuilder:
+    """Clause emitter with structural gate caching."""
+
+    def __init__(self, sat: SATSolver | None = None) -> None:
+        self.sat = sat if sat is not None else SATSolver()
+        const_var = self.sat.new_var()
+        self.true_lit = const_var << 1
+        self.false_lit = self.true_lit | 1
+        self.sat.add_clause([self.true_lit])
+        self._cache: dict[tuple, int] = {}
+        self.gates = 0
+
+    # ----------------------------------------------------------------- basics
+
+    def new_lit(self) -> int:
+        return self.sat.new_var() << 1
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        self.sat.add_clause(lits)
+
+    def lit_const(self, value: bool) -> int:
+        return self.true_lit if value else self.false_lit
+
+    def is_const(self, lit: int) -> bool | None:
+        """The constant value of ``lit`` if it is one of the reserved constant
+        literals, else ``None``."""
+        if lit == self.true_lit:
+            return True
+        if lit == self.false_lit:
+            return False
+        return None
+
+    # ------------------------------------------------------------------ gates
+
+    def AND(self, lits: Sequence[int]) -> int:
+        out: list[int] = []
+        for lit in lits:
+            c = self.is_const(lit)
+            if c is False:
+                return self.false_lit
+            if c is True:
+                continue
+            out.append(lit)
+        inputs = tuple(sorted(set(out)))
+        for lit in inputs:
+            if lit ^ 1 in inputs:
+                return self.false_lit
+        if not inputs:
+            return self.true_lit
+        if len(inputs) == 1:
+            return inputs[0]
+        key = ("and", inputs)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        g = self.new_lit()
+        for lit in inputs:
+            self.add_clause([g ^ 1, lit])
+        self.add_clause([g, *(lit ^ 1 for lit in inputs)])
+        self._cache[key] = g
+        self.gates += 1
+        return g
+
+    def OR(self, lits: Sequence[int]) -> int:
+        return self.AND([lit ^ 1 for lit in lits]) ^ 1
+
+    def XOR(self, a: int, b: int) -> int:
+        ca, cb = self.is_const(a), self.is_const(b)
+        if ca is not None:
+            return b ^ 1 if ca else b
+        if cb is not None:
+            return a ^ 1 if cb else a
+        if a == b:
+            return self.false_lit
+        if a == b ^ 1:
+            return self.true_lit
+        # Canonicalize: inputs positive, sorted; sign folded into the output.
+        sign = (a & 1) ^ (b & 1)
+        a &= ~1
+        b &= ~1
+        if a > b:
+            a, b = b, a
+        key = ("xor", a, b)
+        hit = self._cache.get(key)
+        if hit is None:
+            g = self.new_lit()
+            self.add_clause([g ^ 1, a, b])
+            self.add_clause([g ^ 1, a ^ 1, b ^ 1])
+            self.add_clause([g, a, b ^ 1])
+            self.add_clause([g, a ^ 1, b])
+            self._cache[key] = g
+            self.gates += 1
+            hit = g
+        return hit ^ sign
+
+    def IFF(self, a: int, b: int) -> int:
+        return self.XOR(a, b) ^ 1
+
+    def ITE(self, c: int, t: int, e: int) -> int:
+        cc = self.is_const(c)
+        if cc is True:
+            return t
+        if cc is False:
+            return e
+        if t == e:
+            return t
+        ct, ce = self.is_const(t), self.is_const(e)
+        if ct is True and ce is False:
+            return c
+        if ct is False and ce is True:
+            return c ^ 1
+        if ct is True:
+            return self.OR([c, e])
+        if ct is False:
+            return self.AND([c ^ 1, e])
+        if ce is True:
+            return self.OR([c ^ 1, t])
+        if ce is False:
+            return self.AND([c, t])
+        if t == e ^ 1:
+            return self.IFF(c, t)
+        key = ("ite", c, t, e)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        g = self.new_lit()
+        self.add_clause([g ^ 1, c ^ 1, t])
+        self.add_clause([g ^ 1, c, e])
+        self.add_clause([g, c ^ 1, t ^ 1])
+        self.add_clause([g, c, e ^ 1])
+        # Redundant but propagation-strengthening clauses.
+        self.add_clause([g ^ 1, t, e])
+        self.add_clause([g, t ^ 1, e ^ 1])
+        self._cache[key] = g
+        self.gates += 1
+        return g
+
+    # ----------------------------------------------------- adder primitives
+
+    def full_adder(self, a: int, b: int, cin: int) -> tuple[int, int]:
+        """Returns ``(sum, carry_out)`` of a 1-bit full adder."""
+        axb = self.XOR(a, b)
+        s = self.XOR(axb, cin)
+        carry = self.OR([self.AND([a, b]), self.AND([cin, axb])])
+        return s, carry
+
+    def assert_lit(self, lit: int) -> None:
+        self.add_clause([lit])

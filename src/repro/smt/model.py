@@ -1,0 +1,68 @@
+"""Models (satisfying assignments) of SMT queries.
+
+A :class:`Model` stores concrete values for the scalar variables of a query
+and, for each array variable, the element values at every index the query
+read (recovered from the Ackermann reduction).  ``eval`` closes the loop for
+counterexample replay: any term of the original (pre-elimination) query can
+be evaluated under the model.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .sorts import ArraySort, BitVecSort
+from .substitute import evaluate
+from .terms import Term
+
+__all__ = ["Model"]
+
+
+class Model:
+    """An immutable satisfying assignment.
+
+    Parameters
+    ----------
+    scalars:
+        Values for Bool (``bool``) and bit-vector (``int``) variables.
+    arrays:
+        For each array variable, a dict ``index -> element value`` covering
+        every index the query read.  Unread cells default to 0.
+    """
+
+    def __init__(self, scalars: Mapping[Term, object],
+                 arrays: Mapping[Term, dict[int, int]] | None = None) -> None:
+        self._scalars = dict(scalars)
+        self._arrays = {k: dict(v) for k, v in (arrays or {}).items()}
+
+    def __getitem__(self, var: Term) -> object:
+        if isinstance(var.sort, ArraySort):
+            return dict(self._arrays.get(var, {}))
+        if var in self._scalars:
+            return self._scalars[var]
+        if isinstance(var.sort, BitVecSort):
+            return 0
+        return False
+
+    def __contains__(self, var: Term) -> bool:
+        return var in self._scalars or var in self._arrays
+
+    def variables(self) -> list[Term]:
+        return [*self._scalars.keys(), *self._arrays.keys()]
+
+    def eval(self, term: Term) -> object:
+        """Concretely evaluate ``term`` under this model.
+
+        Returns ``bool`` for Bool terms, ``int`` for bit-vector terms, and an
+        index dict for array terms.
+        """
+        env: dict[Term, object] = dict(self._scalars)
+        env.update(self._arrays)
+        return evaluate(term, env)
+
+    def __repr__(self) -> str:
+        parts = [f"{v.payload} = {val!r}" for v, val in sorted(
+            self._scalars.items(), key=lambda kv: kv[0].payload)]
+        parts += [f"{v.payload} = {vals!r}" for v, vals in sorted(
+            self._arrays.items(), key=lambda kv: kv[0].payload)]
+        return "Model(" + ", ".join(parts) + ")"

@@ -1,0 +1,75 @@
+"""DIMACS CNF reading/writing.
+
+Lets us dump any bit-blasted query for cross-checking with an external SAT
+solver, and lets the test suite run the CDCL core against standard instances.
+DIMACS literals are 1-based and signed; internal literals are 0-based and
+even/odd encoded (see :mod:`repro.smt.sat.solver`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .solver import SATSolver
+
+__all__ = ["parse_dimacs", "to_dimacs", "load_into"]
+
+
+def _int_to_lit(x: int) -> int:
+    var = abs(x) - 1
+    return (var << 1) | (1 if x < 0 else 0)
+
+
+def _lit_to_int(lit: int) -> int:
+    var = (lit >> 1) + 1
+    return -var if lit & 1 else var
+
+
+def parse_dimacs(text: str) -> tuple[int, list[list[int]]]:
+    """Parse DIMACS text into ``(num_vars, clauses)`` with internal literal
+    encoding.  Tolerates comments and missing/inconsistent headers (clauses
+    are trusted over the header, as most solvers do)."""
+    num_vars = 0
+    clauses: list[list[int]] = []
+    current: list[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("c", "%")):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) >= 3:
+                num_vars = int(parts[2])
+            continue
+        for tok in line.split():
+            x = int(tok)
+            if x == 0:
+                clauses.append(current)
+                current = []
+            else:
+                num_vars = max(num_vars, abs(x))
+                current.append(_int_to_lit(x))
+    if current:
+        clauses.append(current)
+    return num_vars, clauses
+
+
+def to_dimacs(num_vars: int, clauses: Iterable[Iterable[int]]) -> str:
+    """Render internal clauses as DIMACS text."""
+    body = []
+    n = 0
+    for clause in clauses:
+        body.append(" ".join(str(_lit_to_int(l)) for l in clause) + " 0")
+        n += 1
+    return "\n".join([f"p cnf {num_vars} {n}", *body]) + "\n"
+
+
+def load_into(solver: SATSolver, text: str) -> bool:
+    """Parse DIMACS text and add it to ``solver``; returns ``solver.ok``."""
+    num_vars, clauses = parse_dimacs(text)
+    while solver.num_vars < num_vars:
+        solver.new_var()
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return False
+    return True

@@ -1,0 +1,26 @@
+"""The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...).
+
+Luby et al.'s universal strategy is within a constant factor of the optimal
+restart schedule for Las Vegas algorithms; virtually every modern CDCL solver
+uses it, and we follow suit.
+"""
+
+from __future__ import annotations
+
+__all__ = ["luby"]
+
+
+def luby(i: int) -> int:
+    """The ``i``-th element (1-based) of the Luby sequence."""
+    if i <= 0:
+        raise ValueError("luby sequence is 1-based")
+    x = i - 1  # 0-based position
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq

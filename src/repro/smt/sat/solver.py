@@ -1,0 +1,433 @@
+"""CDCL SAT solver.
+
+Literal encoding: variable ``v`` (0-based) has positive literal ``2*v`` and
+negative literal ``2*v + 1``; ``lit ^ 1`` negates.  Assignment convention:
+``assigns[v]`` stores the sign bit of the literal of ``v`` that is *true*
+(``0`` when ``v`` is true, ``1`` when ``v`` is false, ``2`` when unassigned),
+so literal ``lit`` is true iff ``assigns[lit >> 1] == (lit & 1)``.
+
+The hot loop (:meth:`SATSolver._propagate`) is written against flat Python
+lists with local-variable aliases, following the profiling guidance for
+pure-Python inner loops: no attribute lookups and no small-object churn on
+the fast path.
+
+The solver is deliberately non-incremental: the SMT facade builds a fresh
+instance per query, which keeps this core small and auditable.  Time and
+conflict budgets return ``UNKNOWN``; the checkers report that as the paper's
+``T.O``.
+"""
+
+from __future__ import annotations
+
+import time
+from enum import Enum
+from heapq import heappush, heappop
+from typing import Iterable
+
+from .luby import luby
+from ...errors import SolverError
+
+__all__ = ["SATSolver", "SATResult"]
+
+
+class SATResult(Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+_UNASSIGNED = 2
+
+
+class SATSolver:
+    """A conflict-driven clause-learning solver.
+
+    Usage::
+
+        s = SATSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([2 * a, 2 * b])          # a | b
+        s.add_clause([2 * a + 1, 2 * b + 1])  # !a | !b
+        assert s.solve() is SATResult.SAT
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        # Per-variable state.
+        self.assigns: list[int] = []
+        self.levels: list[int] = []
+        self.reasons: list[list[int] | None] = []
+        self.activity: list[float] = []
+        self.phase: list[int] = []  # saved sign bit for the next decision
+        # Per-literal watch lists of clause objects (Python lists of lits).
+        self.watches: list[list[list[int]]] = []
+        # Clause database.
+        self.clauses: list[list[int]] = []
+        self.learnts: list[list[int]] = []
+        self.clause_act: dict[int, float] = {}
+        # Trail.
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        # Heuristic state (VSIDS with a lazy heap).
+        self.var_inc = 1.0
+        self.var_decay = 1.0 / 0.95
+        self.cla_inc = 1.0
+        self.cla_decay = 1.0 / 0.999
+        self.order_heap: list[tuple[float, int]] = []
+        self.ok = True
+        self.stats = {"conflicts": 0, "decisions": 0, "propagations": 0,
+                      "restarts": 0, "learned": 0, "deleted": 0}
+
+    # ------------------------------------------------------------------ setup
+
+    def new_var(self) -> int:
+        v = self.num_vars
+        self.num_vars += 1
+        self.assigns.append(_UNASSIGNED)
+        self.levels.append(0)
+        self.reasons.append(None)
+        self.activity.append(0.0)
+        self.phase.append(1)  # default: decide variables to False first
+        self.watches.append([])
+        self.watches.append([])
+        heappush(self.order_heap, (0.0, v))
+        return v
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause at decision level 0.  Returns ``False`` when the
+        instance became trivially unsatisfiable."""
+        if not self.ok:
+            return False
+        if self.trail_lim:
+            raise SolverError("clauses may only be added at decision level 0")
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in lits:
+            if not 0 <= lit < 2 * self.num_vars:
+                raise SolverError(f"literal {lit} references an undeclared variable")
+            if lit in seen:
+                continue
+            if lit ^ 1 in seen:
+                return True  # tautology
+            val = self._value(lit)
+            if val == 0:
+                return True  # already satisfied at level 0
+            if val == 1:
+                continue  # already false at level 0: drop the literal
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self.ok = False
+            return False
+        if len(out) == 1:
+            self._enqueue(out[0], None)
+            if self._propagate() is not None:
+                self.ok = False
+                return False
+            return True
+        self.clauses.append(out)
+        self._watch(out)
+        return True
+
+    def _watch(self, clause: list[int]) -> None:
+        self.watches[clause[0] ^ 1].append(clause)
+        self.watches[clause[1] ^ 1].append(clause)
+
+    # ------------------------------------------------------------- assignment
+
+    def _value(self, lit: int) -> int:
+        """0 = true, 1 = false, >= 2 = unassigned."""
+        v = self.assigns[lit >> 1]
+        return v if v >= 2 else v ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> None:
+        var = lit >> 1
+        assert self.assigns[var] == _UNASSIGNED
+        self.assigns[var] = lit & 1
+        self.levels[var] = len(self.trail_lim)
+        self.reasons[var] = reason
+        self.trail.append(lit)
+
+    # ------------------------------------------------------------ propagation
+
+    def _propagate(self) -> list[int] | None:
+        """Two-watched-literal unit propagation; returns a conflicting clause
+        or ``None``."""
+        assigns = self.assigns
+        watches = self.watches
+        trail = self.trail
+        levels = self.levels
+        reasons = self.reasons
+        level = len(self.trail_lim)
+        props = 0
+        while self.qhead < len(trail):
+            lit = trail[self.qhead]
+            self.qhead += 1
+            false_lit = lit ^ 1
+            ws = watches[lit]
+            if not ws:
+                continue
+            i = j = 0
+            n = len(ws)
+            while i < n:
+                clause = ws[i]
+                i += 1
+                if clause[0] == false_lit:
+                    clause[0] = clause[1]
+                    clause[1] = false_lit
+                first = clause[0]
+                v0 = assigns[first >> 1]
+                if v0 < 2 and v0 == (first & 1):
+                    ws[j] = clause  # satisfied by the other watch
+                    j += 1
+                    continue
+                found = False
+                for k in range(2, len(clause)):
+                    lk = clause[k]
+                    vk = assigns[lk >> 1]
+                    if vk >= 2 or vk == (lk & 1):
+                        clause[1] = lk
+                        clause[k] = false_lit
+                        watches[lk ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                ws[j] = clause
+                j += 1
+                if v0 < 2:
+                    # ``first`` is false: the whole clause is falsified.
+                    while i < n:
+                        ws[j] = ws[i]
+                        j += 1
+                        i += 1
+                    del ws[j:]
+                    self.stats["propagations"] += props
+                    return clause
+                # Unit clause: imply ``first`` (inlined _enqueue).
+                var = first >> 1
+                assigns[var] = first & 1
+                levels[var] = level
+                reasons[var] = clause
+                trail.append(first)
+                props += 1
+            del ws[j:]
+        self.stats["propagations"] += props
+        return None
+
+    # --------------------------------------------------------------- analysis
+
+    def _bump_var(self, var: int) -> None:
+        act = self.activity[var] + self.var_inc
+        self.activity[var] = act
+        if act > 1e100:
+            self.activity = [a * 1e-100 for a in self.activity]
+            self.var_inc *= 1e-100
+            self.order_heap = [(-self.activity[v], v) for _, v in self.order_heap]
+        heappush(self.order_heap, (-self.activity[var], var))
+
+    def _bump_clause(self, clause: list[int]) -> None:
+        cid = id(clause)
+        act = self.clause_act.get(cid, 0.0) + self.cla_inc
+        self.clause_act[cid] = act
+        if act > 1e100:
+            for k in self.clause_act:
+                self.clause_act[k] *= 1e-100
+            self.cla_inc *= 1e-100
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP conflict analysis.
+
+        Returns ``(learned, backtrack_level)`` where ``learned[0]`` is the
+        asserting literal and (for clauses of size > 1) ``learned[1]`` has the
+        highest level among the remaining literals, as the watch scheme
+        requires.
+        """
+        learned: list[int] = [0]
+        seen = bytearray(self.num_vars)
+        counter = 0
+        lit = -1
+        index = len(self.trail) - 1
+        cur_level = len(self.trail_lim)
+        clause: list[int] | None = conflict
+        while True:
+            assert clause is not None, "missing reason during conflict analysis"
+            self._bump_clause(clause)
+            for q in (clause if lit == -1 else clause[1:]):
+                var = q >> 1
+                if not seen[var] and self.levels[var] > 0:
+                    seen[var] = 1
+                    self._bump_var(var)
+                    if self.levels[var] >= cur_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while not seen[self.trail[index] >> 1]:
+                index -= 1
+            lit = self.trail[index]
+            index -= 1
+            var = lit >> 1
+            seen[var] = 0
+            counter -= 1
+            if counter == 0:
+                learned[0] = lit ^ 1
+                break
+            clause = self.reasons[var]
+        # Local clause minimization: a literal is redundant when its reason's
+        # other literals are all already in the learned clause (seen) or at
+        # level 0.
+        minimized = [learned[0]]
+        for q in learned[1:]:
+            reason = self.reasons[q >> 1]
+            if reason is None:
+                minimized.append(q)
+                continue
+            if any(not seen[r >> 1] and self.levels[r >> 1] > 0
+                   for r in reason if (r >> 1) != (q >> 1)):
+                minimized.append(q)
+        learned = minimized
+        if len(learned) == 1:
+            return learned, 0
+        max_i = 1
+        for i in range(2, len(learned)):
+            if self.levels[learned[i] >> 1] > self.levels[learned[max_i] >> 1]:
+                max_i = i
+        learned[1], learned[max_i] = learned[max_i], learned[1]
+        return learned, self.levels[learned[1] >> 1]
+
+    def _backtrack(self, level: int) -> None:
+        if len(self.trail_lim) <= level:
+            return
+        bound = self.trail_lim[level]
+        for lit in reversed(self.trail[bound:]):
+            var = lit >> 1
+            self.phase[var] = lit & 1
+            self.assigns[var] = _UNASSIGNED
+            self.reasons[var] = None
+            heappush(self.order_heap, (-self.activity[var], var))
+        del self.trail[bound:]
+        del self.trail_lim[level:]
+        self.qhead = len(self.trail)
+
+    # ---------------------------------------------------------------- descent
+
+    def _pick_branch_var(self) -> int | None:
+        heap = self.order_heap
+        activity = self.activity
+        assigns = self.assigns
+        while heap:
+            act, var = heappop(heap)
+            if assigns[var] == _UNASSIGNED and -act == activity[var]:
+                return var
+        for var in range(self.num_vars):  # heap exhausted by stale entries
+            if assigns[var] == _UNASSIGNED:
+                heappush(heap, (-activity[var], var))
+                return var
+        return None
+
+    # -------------------------------------------------------------- reduce DB
+
+    def _reduce_db(self) -> None:
+        """Drop the less-active half of the learned clauses, never touching
+        binary clauses or reasons of current assignments."""
+        locked = {id(r) for r in self.reasons if r is not None}
+        self.learnts.sort(key=lambda c: self.clause_act.get(id(c), 0.0))
+        half = len(self.learnts) // 2
+        doomed_ids: set[int] = set()
+        kept: list[list[int]] = []
+        for i, clause in enumerate(self.learnts):
+            if i < half and len(clause) > 2 and id(clause) not in locked:
+                doomed_ids.add(id(clause))
+                self.clause_act.pop(id(clause), None)
+            else:
+                kept.append(clause)
+        if not doomed_ids:
+            return
+        for lit in range(2 * self.num_vars):
+            ws = self.watches[lit]
+            if ws:
+                self.watches[lit] = [c for c in ws if id(c) not in doomed_ids]
+        self.learnts = kept
+        self.stats["deleted"] += len(doomed_ids)
+
+    # ------------------------------------------------------------------ solve
+
+    def solve(self, deadline: float | None = None,
+              conflict_budget: int | None = None) -> SATResult:
+        """Decide satisfiability.
+
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp;
+        ``conflict_budget`` caps total conflicts.  Exceeding either yields
+        :data:`SATResult.UNKNOWN`.
+        """
+        if not self.ok:
+            return SATResult.UNSAT
+        if self._propagate() is not None:
+            self.ok = False
+            return SATResult.UNSAT
+        restart_num = 0
+        start_conflicts = self.stats["conflicts"]
+        max_learnts = max(2000, len(self.clauses))
+        while True:
+            restart_num += 1
+            res = self._search(100 * luby(restart_num), deadline)
+            if res is not None:
+                if res is not SATResult.SAT:
+                    self._backtrack(0)
+                return res
+            self.stats["restarts"] += 1
+            self._backtrack(0)
+            if conflict_budget is not None and \
+                    self.stats["conflicts"] - start_conflicts > conflict_budget:
+                return SATResult.UNKNOWN
+            if len(self.learnts) > max_learnts:
+                self._reduce_db()
+                max_learnts = int(max_learnts * 1.3)
+
+    def _search(self, budget: int, deadline: float | None) -> SATResult | None:
+        """CDCL until SAT/UNSAT, ``budget`` conflicts (``None`` = restart) or
+        the deadline (``UNKNOWN``)."""
+        conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                conflicts += 1
+                if not self.trail_lim:
+                    self.ok = False
+                    return SATResult.UNSAT
+                learned, bt_level = self._analyze(conflict)
+                self._backtrack(bt_level)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None)
+                else:
+                    self.learnts.append(learned)
+                    self.stats["learned"] += 1
+                    self._watch(learned)
+                    self._enqueue(learned[0], learned)
+                self.var_inc *= self.var_decay
+                self.cla_inc *= self.cla_decay
+                if conflicts >= budget:
+                    return None
+                if deadline is not None and conflicts & 127 == 0 and \
+                        time.monotonic() > deadline:
+                    return SATResult.UNKNOWN
+                continue
+            if deadline is not None and self.stats["decisions"] & 255 == 0 and \
+                    time.monotonic() > deadline:
+                return SATResult.UNKNOWN
+            var = self._pick_branch_var()
+            if var is None:
+                return SATResult.SAT
+            self.stats["decisions"] += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue((var << 1) | self.phase[var], None)
+
+    # ------------------------------------------------------------------ model
+
+    def model_value(self, var: int) -> bool:
+        """Value of ``var`` in the satisfying assignment (valid after SAT;
+        unconstrained variables complete to ``False``)."""
+        val = self.assigns[var]
+        return val == 0

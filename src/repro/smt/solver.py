@@ -1,0 +1,182 @@
+"""The SMT solver facade — the drop-in replacement for the paper's use of Z3.
+
+Pipeline per ``check()``:
+
+1. term-level simplification (polynomial normalization, read-over-write);
+2. array elimination (write-chain expansion + Ackermann reduction);
+3. bit-blasting to CNF;
+4. CDCL SAT solving under a time/conflict budget;
+5. on SAT, model reconstruction back up through the pipeline (bit values →
+   scalar values → array contents via the recorded read indices).
+
+The facade is deliberately non-incremental: each ``check()`` rebuilds the
+CNF.  The paper's workload is one query per verification condition, so
+incrementality buys nothing and non-incrementality keeps every layer
+stateless and testable.
+"""
+
+from __future__ import annotations
+
+import time
+from enum import Enum
+
+from .arrays import eliminate_arrays
+from .bitblast import BitBlaster
+from .model import Model
+from .simplify import simplify_all
+from .sorts import ArraySort
+from .substitute import evaluate
+from .terms import FALSE, Not, Term, TRUE, collect
+from ..errors import SolverError, SolverTimeout
+
+__all__ = ["CheckResult", "Solver", "check_valid", "is_satisfiable"]
+
+
+class CheckResult(Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class Solver:
+    """One SMT query: accumulate assertions, then ``check()``.
+
+    Parameters
+    ----------
+    timeout:
+        Wall-clock budget in seconds for one ``check()`` (``None`` = no
+        limit).  On expiry ``check()`` returns ``UNKNOWN`` — the paper's
+        ``T.O``.
+    conflict_budget:
+        Optional cap on SAT conflicts, for deterministic budget tests.
+    do_simplify:
+        Disable to measure the simplifier's contribution (ablation benches).
+    validate_models:
+        Re-evaluate every original assertion under each model before
+        returning it (a soundness net used throughout the test suite).
+    """
+
+    def __init__(self, timeout: float | None = None,
+                 conflict_budget: int | None = None,
+                 do_simplify: bool = True,
+                 validate_models: bool = False) -> None:
+        self.timeout = timeout
+        self.conflict_budget = conflict_budget
+        self.do_simplify = do_simplify
+        self.validate_models = validate_models
+        self.assertions: list[Term] = []
+        self._model: Model | None = None
+        self.stats: dict[str, object] = {}
+
+    def add(self, *terms: Term) -> None:
+        for t in terms:
+            if t.sort.is_bool():
+                self.assertions.append(t)
+            else:
+                raise SolverError(f"assertion must be Bool-sorted, got {t.sort!r}")
+
+    def check(self) -> CheckResult:
+        """Decide satisfiability of the conjunction of all assertions."""
+        self._model = None
+        start = time.monotonic()
+        deadline = start + self.timeout if self.timeout is not None else None
+
+        work = list(self.assertions)
+        if self.do_simplify:
+            work = simplify_all(work)
+        work = [t for t in work if t is not TRUE]
+        if any(t is FALSE for t in work):
+            self._finish(start, conflicts=0)
+            return CheckResult.UNSAT
+        if not work:
+            self._model = Model({})
+            self._finish(start, conflicts=0)
+            return CheckResult.SAT
+
+        flat, info = eliminate_arrays(work)
+        if self.do_simplify:
+            flat = simplify_all(flat)
+            flat = [t for t in flat if t is not TRUE]
+            if any(t is FALSE for t in flat):
+                self._finish(start, conflicts=0)
+                return CheckResult.UNSAT
+
+        bb = BitBlaster()
+        for t in flat:
+            bb.assert_term(t)
+        sat = bb.gb.sat
+        self.stats["clauses"] = len(sat.clauses)
+        self.stats["sat_vars"] = sat.num_vars
+        if not sat.ok:
+            self._finish(start, conflicts=sat.stats["conflicts"])
+            return CheckResult.UNSAT
+
+        result = sat.solve(deadline=deadline, conflict_budget=self.conflict_budget)
+        self._finish(start, conflicts=sat.stats["conflicts"])
+        if result.value == "unsat":
+            return CheckResult.UNSAT
+        if result.value == "unknown":
+            return CheckResult.UNKNOWN
+
+        # -- model reconstruction -------------------------------------------
+        def lit_value(lit: int) -> bool:
+            return sat.model_value(lit >> 1) ^ bool(lit & 1)
+
+        scalars: dict[Term, object] = {}
+        for var, lit in bb.bool_vars.items():
+            scalars[var] = lit_value(lit)
+        for var, bits in bb.var_bits.items():
+            scalars[var] = sum(1 << i for i, b in enumerate(bits) if lit_value(b))
+
+        arrays: dict[Term, dict[int, int]] = {}
+        for array, pairs in info.reads.items():
+            content: dict[int, int] = {}
+            for index_term, elem_var in pairs:
+                idx = evaluate(index_term, scalars)
+                assert isinstance(idx, int)
+                content[idx] = int(scalars.get(elem_var, 0))  # type: ignore[arg-type]
+            arrays[array] = content
+
+        model = Model(scalars, arrays)
+        if self.validate_models:
+            for t in self.assertions:
+                if model.eval(t) is not True:
+                    raise SolverError(
+                        f"model validation failed for assertion {t!r}")
+        self._model = model
+        return CheckResult.SAT
+
+    def _finish(self, start: float, conflicts: int) -> None:
+        self.stats["time"] = time.monotonic() - start
+        self.stats["conflicts"] = conflicts
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise SolverError("model() requires a prior sat check()")
+        return self._model
+
+
+def is_satisfiable(*terms: Term, timeout: float | None = None) -> bool:
+    """Convenience one-shot satisfiability test (raises on UNKNOWN)."""
+    s = Solver(timeout=timeout)
+    s.add(*terms)
+    res = s.check()
+    if res is CheckResult.UNKNOWN:
+        raise SolverTimeout("satisfiability check exceeded its budget")
+    return res is CheckResult.SAT
+
+
+def check_valid(formula: Term, timeout: float | None = None,
+                validate_models: bool = False) -> tuple[CheckResult, Model | None]:
+    """Check validity of ``formula``.
+
+    Returns ``(UNSAT, None)`` when valid (the negation is unsatisfiable),
+    ``(SAT, countermodel)`` when refuted, ``(UNKNOWN, None)`` on budget
+    exhaustion.  The naming follows the refutation query actually solved.
+    """
+    s = Solver(timeout=timeout, validate_models=validate_models)
+    s.add(Not(formula))
+    res = s.check()
+    if res is CheckResult.SAT:
+        return res, s.model()
+    return res, None

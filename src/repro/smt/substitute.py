@@ -1,0 +1,216 @@
+"""Capture-free substitution and concrete evaluation over the term DAG.
+
+``substitute`` is the workhorse of the parameterized encoder: conditional
+assignments are templates over the symbolic thread id, and each instantiation
+(Section IV-B of the paper) substitutes a fresh thread variable into the
+template.  ``evaluate`` is used for counterexample replay and model
+completion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from .sorts import ArraySort, BitVecSort
+from .terms import (FALSE, TRUE, BVConst, Kind, Term, BoolConst)
+from . import terms as T
+from ..errors import SolverError
+
+__all__ = ["substitute", "rebuild", "evaluate"]
+
+
+_REBUILDERS: dict[Kind, Callable[..., Term]] = {
+    Kind.NOT: lambda args, payload: T.Not(*args),
+    Kind.AND: lambda args, payload: T.And(*args),
+    Kind.OR: lambda args, payload: T.Or(*args),
+    Kind.XOR: lambda args, payload: T.Xor(*args),
+    Kind.IMPLIES: lambda args, payload: T.Implies(*args),
+    Kind.ITE: lambda args, payload: T.Ite(*args),
+    Kind.EQ: lambda args, payload: T.Eq(*args),
+    Kind.BVNEG: lambda args, payload: T.BVNeg(*args),
+    Kind.BVADD: lambda args, payload: T.BVAdd(*args),
+    Kind.BVSUB: lambda args, payload: T.BVSub(*args),
+    Kind.BVMUL: lambda args, payload: T.BVMul(*args),
+    Kind.BVUDIV: lambda args, payload: T.BVUDiv(*args),
+    Kind.BVUREM: lambda args, payload: T.BVURem(*args),
+    Kind.BVNOT: lambda args, payload: T.BVNot(*args),
+    Kind.BVAND: lambda args, payload: T.BVAnd(*args),
+    Kind.BVOR: lambda args, payload: T.BVOr(*args),
+    Kind.BVXOR: lambda args, payload: T.BVXor(*args),
+    Kind.BVSHL: lambda args, payload: T.BVShl(*args),
+    Kind.BVLSHR: lambda args, payload: T.BVLshr(*args),
+    Kind.BVASHR: lambda args, payload: T.BVAshr(*args),
+    Kind.BVULT: lambda args, payload: T.ULt(*args),
+    Kind.BVULE: lambda args, payload: T.ULe(*args),
+    Kind.BVSLT: lambda args, payload: T.SLt(*args),
+    Kind.BVSLE: lambda args, payload: T.SLe(*args),
+    Kind.CONCAT: lambda args, payload: T.Concat(*args),
+    Kind.EXTRACT: lambda args, payload: T.Extract(args[0], payload[0], payload[1]),
+    Kind.ZEXT: lambda args, payload: T.ZeroExt(args[0], payload),
+    Kind.SEXT: lambda args, payload: T.SignExt(args[0], payload),
+    Kind.SELECT: lambda args, payload: T.Select(*args),
+    Kind.STORE: lambda args, payload: T.Store(*args),
+}
+
+
+def rebuild(term: Term, new_args: tuple[Term, ...]) -> Term:
+    """Re-apply ``term``'s operator to ``new_args`` via the smart constructors."""
+    if new_args == term.args:
+        return term
+    builder = _REBUILDERS.get(term.kind)
+    if builder is None:
+        raise SolverError(f"cannot rebuild term kind {term.kind.name}")
+    return builder(new_args, term.payload)
+
+
+def substitute(term: Term, mapping: Mapping[Term, Term]) -> Term:
+    """Replace every occurrence of the keys of ``mapping`` (arbitrary subterms,
+    typically variables) with the corresponding values, bottom-up.
+
+    The result is re-normalized by the smart constructors, so substituting
+    constants triggers constant folding for free.
+    """
+    if not mapping:
+        return term
+    cache: dict[Term, Term] = dict(mapping)
+    # Explicit stack: deep store chains overflow the C stack otherwise.
+    stack = [term]
+    while stack:
+        t = stack[-1]
+        if t in cache:
+            stack.pop()
+            continue
+        pending = [a for a in t.args if a not in cache]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        if not t.args:
+            cache[t] = t
+        else:
+            cache[t] = rebuild(t, tuple(cache[a] for a in t.args))
+    return cache[term]
+
+
+def evaluate(term: Term, env: Mapping[Term, object]) -> object:
+    """Concretely evaluate ``term`` under ``env``.
+
+    ``env`` maps variable terms to Python values: ``bool`` for Bool vars,
+    ``int`` for bit-vector vars, and ``dict[int, int]`` (plus an optional
+    ``"default"`` key) for array vars.  Unbound variables default to
+    ``False`` / ``0`` / empty array, matching the solver's model completion.
+
+    Returns ``bool``, ``int``, or a ``dict`` for array-sorted terms.
+    """
+    cache: dict[Term, object] = {}
+
+    def arr_get(arr: object, idx: int) -> int:
+        assert isinstance(arr, dict)
+        if idx in arr:
+            return arr[idx]
+        return arr.get("default", 0)
+
+    def compute(t: Term) -> object:
+        k = t.kind
+        if k == Kind.TRUE:
+            val: object = True
+        elif k == Kind.FALSE:
+            val = False
+        elif k == Kind.BVCONST:
+            val = t.payload
+        elif k == Kind.VAR:
+            if t in env:
+                val = env[t]
+            elif isinstance(t.sort, ArraySort):
+                val = {}
+            elif isinstance(t.sort, BitVecSort):
+                val = 0
+            else:
+                val = False
+        else:
+            args = [cache[a] for a in t.args]
+            s = t.sort
+            if k == Kind.NOT:
+                val = not args[0]
+            elif k == Kind.AND:
+                val = all(args)
+            elif k == Kind.OR:
+                val = any(args)
+            elif k == Kind.XOR:
+                val = bool(args[0]) != bool(args[1])
+            elif k == Kind.IMPLIES:
+                val = (not args[0]) or args[1]
+            elif k == Kind.ITE:
+                val = args[1] if args[0] else args[2]
+            elif k == Kind.EQ:
+                val = args[0] == args[1]
+            elif k == Kind.BVNEG:
+                val = s.clip(-args[0])
+            elif k == Kind.BVADD:
+                val = s.clip(args[0] + args[1])
+            elif k == Kind.BVSUB:
+                val = s.clip(args[0] - args[1])
+            elif k == Kind.BVMUL:
+                val = s.clip(args[0] * args[1])
+            elif k == Kind.BVUDIV:
+                val = s.mask if args[1] == 0 else args[0] // args[1]
+            elif k == Kind.BVUREM:
+                val = args[0] if args[1] == 0 else args[0] % args[1]
+            elif k == Kind.BVNOT:
+                val = s.clip(~args[0])
+            elif k == Kind.BVAND:
+                val = args[0] & args[1]
+            elif k == Kind.BVOR:
+                val = args[0] | args[1]
+            elif k == Kind.BVXOR:
+                val = args[0] ^ args[1]
+            elif k == Kind.BVSHL:
+                val = 0 if args[1] >= s.width else s.clip(args[0] << args[1])
+            elif k == Kind.BVLSHR:
+                val = 0 if args[1] >= s.width else args[0] >> args[1]
+            elif k == Kind.BVASHR:
+                src = t.args[0].sort
+                val = src.clip(src.to_signed(args[0]) >> min(args[1], src.width - 1))
+            elif k == Kind.BVULT:
+                val = args[0] < args[1]
+            elif k == Kind.BVULE:
+                val = args[0] <= args[1]
+            elif k == Kind.BVSLT:
+                src = t.args[0].sort
+                val = src.to_signed(args[0]) < src.to_signed(args[1])
+            elif k == Kind.BVSLE:
+                src = t.args[0].sort
+                val = src.to_signed(args[0]) <= src.to_signed(args[1])
+            elif k == Kind.CONCAT:
+                val = (args[0] << t.args[1].sort.width) | args[1]
+            elif k == Kind.EXTRACT:
+                hi, lo = t.payload
+                val = (args[0] >> lo) & ((1 << (hi - lo + 1)) - 1)
+            elif k == Kind.ZEXT:
+                val = args[0]
+            elif k == Kind.SEXT:
+                src = t.args[0].sort
+                val = s.clip(src.to_signed(args[0]))
+            elif k == Kind.SELECT:
+                val = arr_get(args[0], args[1])
+            elif k == Kind.STORE:
+                new = dict(args[0])
+                new[args[1]] = args[2]
+                val = new
+            else:  # pragma: no cover - all kinds handled
+                raise SolverError(f"cannot evaluate term kind {k.name}")
+        return val
+
+    stack = [term]
+    while stack:
+        t = stack[-1]
+        if t in cache:
+            stack.pop()
+            continue
+        pending = [a for a in t.args if a not in cache]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        cache[t] = compute(t)
+    return cache[term]

@@ -1,0 +1,77 @@
+"""Unit tests for the benchmark harness (cells, notation, tables)."""
+
+import os
+
+from repro.bench.harness import (
+    Cell, TableAccumulator, bench_timeout, format_cell, format_table,
+    run_cell,
+)
+from repro.check.result import CheckOutcome, Verdict
+
+
+def outcome(verdict):
+    return CheckOutcome(verdict=verdict)
+
+
+class TestNotation:
+    def test_timeout_is_TO(self):
+        assert format_cell(Cell(outcome(Verdict.TIMEOUT), 60.0)) == "T.O"
+
+    def test_bug_gets_star(self):
+        assert format_cell(Cell(outcome(Verdict.BUG), 1.234)) == "1.23*"
+
+    def test_fast_is_sub01(self):
+        assert format_cell(Cell(outcome(Verdict.VERIFIED), 0.05)) == "<0.1"
+
+    def test_unsupported(self):
+        assert format_cell(Cell(outcome(Verdict.UNSUPPORTED), 0.5)) == "n/s"
+
+    def test_unknown_marker(self):
+        assert format_cell(Cell(outcome(Verdict.UNKNOWN), 5.0)).endswith("?")
+
+    def test_missing_cell(self):
+        assert format_cell(None) == "-"
+
+    def test_large_times_rounded(self):
+        assert format_cell(Cell(outcome(Verdict.VERIFIED), 41.7)) == "42"
+
+
+class TestRunCell:
+    def test_measures_elapsed(self):
+        cell = run_cell(lambda: outcome(Verdict.VERIFIED))
+        assert cell.verdict is Verdict.VERIFIED
+        assert cell.elapsed >= 0
+
+
+class TestTimeout:
+    def test_env_override(self):
+        os.environ["PUGPARA_BENCH_TIMEOUT"] = "123"
+        try:
+            assert bench_timeout() == 123.0
+        finally:
+            del os.environ["PUGPARA_BENCH_TIMEOUT"]
+
+    def test_default(self):
+        os.environ.pop("PUGPARA_BENCH_TIMEOUT", None)
+        assert bench_timeout(17.0) == 17.0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [["x", "y"], ["longer", "z"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all("|" in line for line in lines[2:] if "-+-" not in line)
+
+    def test_accumulator_renders_in_insert_order(self):
+        acc = TableAccumulator(title="t", headers=["Kernel", "c1", "c2"])
+        acc.put("row2", "c1", "a")
+        acc.put("row1", "c2", "b")
+        text = acc.render()
+        assert text.index("row2") < text.index("row1")
+        assert "-" in text  # missing cells dashed
+
+    def test_accumulator_accepts_cells(self):
+        acc = TableAccumulator(title="t", headers=["Kernel", "c"])
+        acc.put("r", "c", Cell(outcome(Verdict.VERIFIED), 0.01))
+        assert "<0.1" in acc.render()

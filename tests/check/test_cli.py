@@ -1,0 +1,80 @@
+"""End-to-end tests of the ``pugpara`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.kernels import KERNELS
+
+
+@pytest.fixture()
+def kernel_files(tmp_path):
+    paths = {}
+    for name in ("naiveTranspose", "optimizedTranspose", "naiveReduce",
+                 "scanRacy"):
+        p = tmp_path / f"{name}.cu"
+        p.write_text(KERNELS[name].source)
+        paths[name] = str(p)
+    return paths
+
+
+def test_suite_listing(capsys):
+    assert main(["suite"]) == 0
+    out = capsys.readouterr().out
+    assert "naiveTranspose" in out
+    assert "Transpose" in out
+
+
+def test_equiv_param_verified(kernel_files, capsys):
+    rc = main(["equiv", kernel_files["naiveTranspose"],
+               kernel_files["optimizedTranspose"],
+               "--method", "param", "--width", "8", "--pair", "Transpose",
+               "--cbdim", "2,2,1", "--cgdim", "2,2",
+               "--set", "width=4", "--set", "height=4",
+               "--timeout", "120"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "verified" in out
+
+
+def test_equiv_nonparam(kernel_files, capsys):
+    rc = main(["equiv", kernel_files["naiveTranspose"],
+               kernel_files["optimizedTranspose"],
+               "--method", "nonparam", "--width", "8",
+               "--bdim", "2,2,1", "--gdim", "1,1",
+               "--set", "width=2", "--set", "height=2",
+               "--timeout", "120"])
+    assert rc == 0
+    assert "verified" in capsys.readouterr().out
+
+
+def test_func_nonparam_spec(kernel_files, capsys):
+    rc = main(["func", kernel_files["naiveReduce"], "--method", "nonparam",
+               "--width", "8", "--bdim", "4,1,1", "--timeout", "120"])
+    assert rc == 0
+
+
+def test_races_finds_bug(kernel_files, capsys):
+    rc = main(["races", kernel_files["scanRacy"], "--width", "8",
+               "--pair", "Reduction",
+               "--cbdim", "8,1,1", "--cgdim", "1,1", "--timeout", "120"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "bug" in out
+
+
+def test_run_prints_outputs(kernel_files, tmp_path, capsys):
+    p = tmp_path / "simple.cu"
+    p.write_text("void f(int *o, int n) { o[tid.x] = n + tid.x; }")
+    rc = main(["run", str(p), "--bdim", "4,1,1", "--set", "n=10"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "[0]=10" in out and "[3]=13" in out
+
+
+def test_run_reports_races(tmp_path, capsys):
+    p = tmp_path / "racy.cu"
+    p.write_text("void f(int *o) { o[0] = tid.x; }")
+    rc = main(["run", str(p), "--bdim", "4,1,1"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "RACE" in out

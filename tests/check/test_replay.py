@@ -1,0 +1,82 @@
+"""Unit tests for counterexample replay (the no-false-alarms guard)."""
+
+from repro.check.replay import (
+    replay_equivalence, replay_postcondition, extract_launch,
+)
+from repro.check.result import Counterexample
+from repro.kernels import address_mutants, load, load_pair
+from repro.lang import check_kernel
+
+
+def _transpose_cex(**kw):
+    defaults = dict(bdim=(2, 2, 1), gdim=(2, 2),
+                    scalars={"width": 4, "height": 4},
+                    arrays={"idata": {i: (i * 7 + 1) % 100
+                                      for i in range(16)}})
+    defaults.update(kw)
+    return Counterexample(**defaults)
+
+
+class TestEquivalenceReplay:
+    def test_equivalent_pair_not_confirmed(self):
+        (_, si), (_, ti) = load_pair("Transpose")
+        res = replay_equivalence(si, ti, _transpose_cex(), 8)
+        assert not res.confirmed
+
+    def test_mutant_confirmed(self):
+        (_, si), (tk, ti) = load_pair("Transpose")
+        mutant = list(address_mutants(tk))[0]
+        info = check_kernel(mutant.kernel)
+        res = replay_equivalence(si, info, _transpose_cex(), 8)
+        assert res.confirmed
+
+    def test_uninit_shared_divergence_found_by_fill_probe(self):
+        """A mutant whose divergence flows through uninitialized shared
+        memory: only the nonzero shared fill exposes it when inputs are 0."""
+        (_, si), (tk, ti) = load_pair("Transpose")
+        mutant = list(address_mutants(tk))[0]
+        info = check_kernel(mutant.kernel)
+        cex = _transpose_cex(arrays={"idata": {i: 0 for i in range(16)}})
+        res = replay_equivalence(si, info, cex, 8)
+        assert res.confirmed
+
+    def test_nonsquare_race_confirmed(self):
+        (_, si), (_, ti) = load_pair("Transpose")
+        cex = Counterexample(bdim=(4, 2, 1), gdim=(2, 4),
+                             scalars={"width": 8, "height": 8},
+                             arrays={"idata": {}})
+        res = replay_equivalence(si, ti, cex, 8)
+        assert res.confirmed
+
+    def test_oversized_counterexample_skipped(self):
+        (_, si), (_, ti) = load_pair("Transpose")
+        cex = _transpose_cex(bdim=(200, 200, 1), gdim=(10, 10))
+        res = replay_equivalence(si, ti, cex, 16)
+        assert not res.confirmed
+        assert "large" in res.reason
+
+
+class TestPostconditionReplay:
+    def test_correct_kernel_not_confirmed(self):
+        _, info = load("naiveTranspose")
+        res = replay_postcondition(info, _transpose_cex(), 8,
+                                   free_bindings={"i": 1, "j": 2})
+        assert not res.confirmed
+
+    def test_mutant_postcond_confirmed(self):
+        k, _ = load("naiveTranspose")
+        mutant = list(address_mutants(k))[0]
+        info = check_kernel(mutant.kernel)
+        res = replay_postcondition(info, _transpose_cex(), 8)
+        assert res.confirmed
+
+
+class TestExtractLaunch:
+    def test_zero_dims_clamped_to_one(self):
+        from repro.param.geometry import Geometry
+        from repro.smt import Model
+        geo = Geometry.create(8)
+        model = Model({})  # nothing pinned: all dims default 0
+        cex = extract_launch(model, geo, {}, {})
+        assert cex.bdim == (1, 1, 1)
+        assert cex.gdim == (1, 1)

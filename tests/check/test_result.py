@@ -1,0 +1,32 @@
+"""Unit tests for verdicts and counterexample rendering."""
+
+from repro.check.result import CheckOutcome, Counterexample, Verdict
+
+
+def test_verdict_str():
+    assert str(Verdict.VERIFIED) == "verified"
+    assert str(Verdict.BUG) == "bug"
+
+
+def test_counterexample_describe():
+    cex = Counterexample(bdim=(2, 2, 1), gdim=(1, 1),
+                         scalars={"width": 4},
+                         arrays={"idata": {0: 7, 3: 9}},
+                         detail="outputs differ")
+    text = cex.describe()
+    assert "bdim=(2, 2, 1)" in text
+    assert "width=4" in text
+    assert "[0]=7" in text
+    assert "outputs differ" in text
+
+
+def test_outcome_str_flags_incomplete():
+    out = CheckOutcome(verdict=Verdict.VERIFIED, complete=False,
+                       elapsed=1.5, vcs_checked=3)
+    assert "frames unverified" in str(out)
+
+
+def test_outcome_str_includes_counterexample():
+    cex = Counterexample(bdim=(1, 1, 1), gdim=(1, 1))
+    out = CheckOutcome(verdict=Verdict.BUG, counterexample=cex)
+    assert "counterexample" in str(out)

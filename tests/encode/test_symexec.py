@@ -1,0 +1,120 @@
+"""Unit tests for the shared symbolic expression evaluator."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.lang import parse_expr
+from repro.smt import BVConst, BVVar, Kind, Select, Term, evaluate
+from repro.smt.sorts import ARRAY
+from repro.encode.symexec import eval_bool, eval_expr
+
+
+class Scope:
+    """A minimal SymScope over fixed locals and one array."""
+
+    width = 8
+
+    def __init__(self):
+        self.vars = {n: BVVar(f"se.{n}", 8) for n in "abcn"}
+        self.array = {"buf": Term.__new__ if False else None}
+        from repro.smt import ArrayVar
+        self.buf = ArrayVar("se.buf", 8, 8)
+
+    def local(self, name, line):
+        return self.vars[name]
+
+    def builtin(self, base, axis, line):
+        return BVConst({"x": 3, "y": 5, "z": 0}[axis], 8)
+
+    def read_array(self, name, indices, line):
+        assert name == "buf"
+        return Select(self.buf, indices[0])
+
+
+S = Scope()
+
+
+def ev(src):
+    return eval_expr(parse_expr(src), S)
+
+
+def evb(src):
+    return eval_bool(parse_expr(src), S)
+
+
+def concrete(term, env=None):
+    base = {v: i + 1 for i, v in enumerate(S.vars.values())}
+    base.update(env or {})
+    return evaluate(term, base)
+
+
+class TestValues:
+    def test_literals_and_locals(self):
+        assert ev("42").value == 42
+        assert ev("a") is S.vars["a"]
+
+    def test_builtins(self):
+        assert ev("tid.x").value == 3
+        assert ev("bdim.y").value == 5
+
+    def test_arith_matches_python(self):
+        t = ev("(a + b) * 3 - c")
+        assert concrete(t) == ((1 + 2) * 3 - 3) % 256
+
+    def test_division_operators(self):
+        assert concrete(ev("a / b")) == 0  # 1 // 2
+        assert concrete(ev("b % a")) == 0  # 2 % 1
+
+    def test_shifts_and_bitwise(self):
+        assert concrete(ev("a << 3")) == 8
+        assert concrete(ev("b >> 1")) == 1
+        assert concrete(ev("a & b")) == 0
+        assert concrete(ev("a | b")) == 3
+        assert concrete(ev("a ^ b")) == 3
+        assert concrete(ev("~a")) == 254
+
+    def test_comparison_as_value_is_01(self):
+        assert concrete(ev("a < b")) == 1
+        assert concrete(ev("b < a")) == 0
+
+    def test_bool_ops_as_value(self):
+        assert concrete(ev("a < b && b < c")) == 1
+        assert concrete(ev("!(a < b)")) == 0
+
+    def test_ternary(self):
+        assert concrete(ev("a < b ? a : b")) == 1
+        assert concrete(ev("b < a ? a : b")) == 2
+
+    def test_min_max(self):
+        assert concrete(ev("min(a, b)")) == 1
+        assert concrete(ev("max(a, b)")) == 2
+
+    def test_unary_minus(self):
+        assert concrete(ev("-a")) == 255
+
+    def test_array_read(self):
+        t = ev("buf[a + 1]")
+        assert t.kind == Kind.SELECT
+
+
+class TestConditions:
+    def test_comparisons_are_bool(self):
+        assert evb("a < b").sort.is_bool()
+        assert evb("a == b").sort.is_bool()
+
+    def test_connectives(self):
+        t = evb("a < b && (b == c || a != c)")
+        assert t.sort.is_bool()
+        assert concrete(t) == (1 < 2 and (2 == 3 or 1 != 3))
+
+    def test_implication(self):
+        t = evb("a == 1 ==> b == 2")
+        assert concrete(t) is True
+
+    def test_value_as_condition_means_nonzero(self):
+        t = evb("a")
+        assert concrete(t) is True
+        assert concrete(t, {S.vars["a"]: 0}) is False
+
+    def test_not(self):
+        assert concrete(evb("!(a == 1)")) is False

@@ -1,0 +1,97 @@
+"""Tests for the bug-injection engine: mutants are well-formed, distinct from
+the original, and (for the kernels with specs) actually observably wrong
+under the reference interpreter for at least one input."""
+
+import pytest
+
+from repro.kernels import address_mutants, all_mutants, guard_mutants, load
+from repro.lang import (
+    LaunchConfig, check_kernel, check_postconditions, pretty_kernel,
+    run_kernel,
+)
+
+
+class TestMutantGeneration:
+    def test_address_mutants_enumerated(self):
+        kernel, _ = load("naiveTranspose")
+        ms = list(address_mutants(kernel))
+        # the compute assignment has a write and a read subscript
+        assert len(ms) == 2
+        assert all(m.kernel != kernel for m in ms)
+
+    def test_guard_mutants_enumerated(self):
+        kernel, _ = load("naiveTranspose")
+        ms = list(guard_mutants(kernel))
+        assert any(m.label.startswith("guard-cmp") for m in ms)
+        assert any(m.label.startswith("guard-conn") for m in ms)
+
+    def test_labels_unique(self):
+        kernel, _ = load("optimizedTranspose")
+        labels = [m.label for m in all_mutants(kernel)]
+        assert len(labels) == len(set(labels))
+
+    def test_descriptions_name_the_line(self):
+        kernel, _ = load("optimizedTranspose")
+        for m in all_mutants(kernel):
+            assert m.description.startswith("line ")
+
+    def test_mutants_still_typecheck(self):
+        kernel, _ = load("optimizedReduce")
+        for m in all_mutants(kernel):
+            check_kernel(m.kernel)
+
+    def test_spec_blocks_untouched(self):
+        kernel, _ = load("naiveReduce")
+        for m in all_mutants(kernel):
+            assert pretty_kernel(m.kernel).count("spec") == \
+                pretty_kernel(kernel).count("spec")
+
+    def test_postconds_untouched(self):
+        kernel, _ = load("naiveTranspose")
+        original_pc = pretty_kernel(kernel).split("postcond")[1]
+        for m in address_mutants(kernel):
+            assert pretty_kernel(m.kernel).split("postcond")[1] == original_pc
+
+
+class TestMutantsAreBugs:
+    """Address mutants of the transpose kernels must produce observably wrong
+    output on a concrete run (guard mutants may be benign for some inputs,
+    address mutants on the datapath should not be)."""
+
+    def _outputs(self, kernel):
+        W = H = 8
+        cfg = LaunchConfig(bdim=(4, 4, 1), gdim=(2, 2), width=16)
+        idata = {j * W + i: (5 * i + 11 * j + 1) % 127
+                 for i in range(W) for j in range(H)}
+        r = run_kernel(kernel, cfg,
+                       {"idata": idata, "width": W, "height": H},
+                       check_races=False)
+        return {i: r.globals["odata"].get(i, 0) for i in range(W * H)}
+
+    def test_naive_transpose_address_mutants_change_output(self):
+        kernel, _ = load("naiveTranspose")
+        good = self._outputs(kernel)
+        for m in address_mutants(kernel):
+            try:
+                bad = self._outputs(m.kernel)
+            except Exception:
+                continue  # crashing is also observably wrong
+            assert bad != good, m.label
+
+    def test_reduce_address_mutants_break_spec(self):
+        kernel, info = load("optimizedReduce")
+        n = 8
+        cfg = LaunchConfig(bdim=(n, 1, 1), gdim=(1, 1), width=16)
+        data = {i: i + 1 for i in range(n)}
+        broken = 0
+        for m in address_mutants(kernel):
+            minfo = check_kernel(m.kernel)
+            try:
+                r = run_kernel(m.kernel, cfg, {"g_idata": data},
+                               check_races=False)
+            except Exception:
+                broken += 1
+                continue
+            if check_postconditions(minfo, r):
+                broken += 1
+        assert broken >= 3  # most single-site address bugs are caught

@@ -1,0 +1,171 @@
+"""Tests for the kernel suite under the reference interpreter: every kernel
+parses, runs race-free on valid configurations, and satisfies its spec."""
+
+import pytest
+
+from repro.kernels import KERNELS, PAIRS, load, load_pair
+from repro.lang import LaunchConfig, check_postconditions, run_kernel
+
+
+def dense(values):
+    return {i: v for i, v in enumerate(values)}
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_parses_and_typechecks(name):
+    kernel, info = load(name)
+    assert kernel.name == name
+
+
+class TestTranspose:
+    W, H = 8, 8
+
+    def idata(self):
+        return {j * self.W + i: (7 * i + 13 * j + 1) % 251
+                for i in range(self.W) for j in range(self.H)}
+
+    def run_one(self, which):
+        kernel, info = load(which)
+        cfg = LaunchConfig(bdim=(4, 4, 1), gdim=(2, 2), width=16)
+        r = run_kernel(kernel, cfg, {"idata": self.idata(),
+                                     "width": self.W, "height": self.H})
+        return info, r
+
+    @pytest.mark.parametrize("which", ["naiveTranspose", "optimizedTranspose"])
+    def test_race_free_and_correct(self, which):
+        info, r = self.run_one(which)
+        assert r.races == []
+        assert check_postconditions(
+            info, r, bounds={"i": range(self.W), "j": range(self.H)}) == []
+
+    def test_pair_outputs_identical(self):
+        _, r1 = self.run_one("naiveTranspose")
+        _, r2 = self.run_one("optimizedTranspose")
+        assert r1.globals["odata"] == r2.globals["odata"]
+
+    def test_nonsquare_block_breaks_optimized_only(self):
+        """The paper's '*' rows: with a non-square block the optimized kernel
+        is wrong (its tile is declared bdim.x x bdim.x+1) while the naive one
+        stays correct."""
+        cfg = LaunchConfig(bdim=(4, 2, 1), gdim=(2, 4), width=16)
+        inputs = {"idata": self.idata(), "width": self.W, "height": self.H}
+        k1, i1 = load("naiveTranspose")
+        r1 = run_kernel(k1, cfg, inputs)
+        assert check_postconditions(
+            i1, r1, bounds={"i": range(self.W), "j": range(self.H)}) == []
+        k2, i2 = load("optimizedTranspose")
+        try:
+            r2 = run_kernel(k2, cfg, inputs)
+        except Exception:
+            return  # out-of-bounds tile access also counts as broken
+        violations = check_postconditions(
+            i2, r2, bounds={"i": range(self.W), "j": range(self.H)})
+        assert violations
+
+
+class TestReduction:
+    @pytest.mark.parametrize("which", ["naiveReduce", "optimizedReduce"])
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_sums_correctly(self, which, n):
+        kernel, info = load(which)
+        cfg = LaunchConfig(bdim=(n, 1, 1), gdim=(1, 1), width=16)
+        data = dense([(3 * i + 1) % 50 for i in range(n)])
+        r = run_kernel(kernel, cfg, {"g_idata": data})
+        assert r.races == []
+        assert check_postconditions(info, r) == []
+        assert r.globals["g_odata"][0] == sum(data.values())
+
+    def test_pair_outputs_identical(self):
+        n = 8
+        data = dense(range(1, n + 1))
+        cfg = LaunchConfig(bdim=(n, 1, 1), gdim=(1, 1), width=16)
+        outs = []
+        for which in ("naiveReduce", "optimizedReduce"):
+            kernel, _ = load(which)
+            outs.append(run_kernel(kernel, cfg, {"g_idata": data})
+                        .globals["g_odata"])
+        assert outs[0] == outs[1]
+
+
+class TestScan:
+    def test_exclusive_scan(self):
+        kernel, info = load("scanNaive")
+        n = 8
+        cfg = LaunchConfig(bdim=(n, 1, 1), gdim=(1, 1), width=16)
+        data = dense([5, 1, 4, 2, 8, 3, 9, 7])
+        r = run_kernel(kernel, cfg, {"g_idata": data})
+        assert r.races == []
+        out = [r.globals["g_odata"].get(i, 0) for i in range(n)]
+        expect = [0]
+        for i in range(n - 1):
+            expect.append(expect[-1] + data[i])
+        assert out == expect
+        assert check_postconditions(info, r, bounds={"i": range(n)}) == []
+
+    def test_racy_variant_reports_races(self):
+        kernel, _ = load("scanRacy")
+        cfg = LaunchConfig(bdim=(8, 1, 1), gdim=(1, 1), width=16)
+        r = run_kernel(kernel, cfg, {"g_idata": dense(range(8))})
+        assert r.races
+
+
+class TestScalarProd:
+    def test_dot_product(self):
+        kernel, info = load("scalarProd")
+        n = 8
+        cfg = LaunchConfig(bdim=(n, 1, 1), gdim=(1, 1), width=32)
+        a = dense([1, 2, 3, 4, 5, 6, 7, 8])
+        b = dense([2, 2, 2, 2, 1, 1, 1, 1])
+        r = run_kernel(kernel, cfg, {"d_A": a, "d_B": b})
+        assert r.races == []
+        assert r.globals["d_C"][0] == sum(a[i] * b[i] for i in range(n))
+        assert check_postconditions(info, r) == []
+
+    def test_non_pow2_block_violates_spec(self):
+        """The paper's ACCN-not-a-power-of-2 configuration bug."""
+        kernel, info = load("scalarProd")
+        n = 6
+        cfg = LaunchConfig(bdim=(n, 1, 1), gdim=(1, 1), width=32)
+        a = dense([1] * n)
+        b = dense([1] * n)
+        r = run_kernel(kernel, cfg, {"d_A": a, "d_B": b})
+        assert check_postconditions(info, r)  # 6 != sum under broken tree
+
+
+class TestMatMul:
+    def test_pair_agrees_with_reference(self):
+        n = 4
+        cfg = LaunchConfig(bdim=(2, 2, 1), gdim=(2, 2), width=32)
+        A = {i: (3 * i + 1) % 10 for i in range(n * n)}
+        B = {i: (5 * i + 2) % 10 for i in range(n * n)}
+        ref = {}
+        for r_ in range(n):
+            for c in range(n):
+                ref[r_ * n + c] = sum(A[r_ * n + k] * B[k * n + c]
+                                      for k in range(n))
+        for which in ("naiveMatMul", "tiledMatMul"):
+            kernel, _ = load(which)
+            res = run_kernel(kernel, cfg, {"A": A, "B": B, "wA": n, "wB": n})
+            assert res.races == []
+            got = {i: res.globals["C"].get(i, 0) for i in range(n * n)}
+            assert got == ref, which
+
+
+class TestBitonic:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_sorts(self, n):
+        kernel, info = load("bitonicSort")
+        cfg = LaunchConfig(bdim=(n, 1, 1), gdim=(1, 1), width=16)
+        vals = dense([(7 * i + 3) % n for i in range(n)])
+        r = run_kernel(kernel, cfg, {"values": vals})
+        assert r.races == []
+        out = [r.globals["values"][i] for i in range(n)]
+        assert out == sorted(vals.values())
+        assert check_postconditions(info, r, bounds={"i": range(n)}) == []
+
+
+class TestPairsRegistry:
+    def test_all_pairs_loadable(self):
+        for name in PAIRS:
+            (k1, _), (k2, _) = load_pair(name)
+            assert k1.name != k2.name

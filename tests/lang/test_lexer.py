@@ -1,0 +1,65 @@
+"""Unit tests for the DSL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "eof"]
+
+
+def test_identifiers_and_keywords():
+    assert kinds("int xIndex __shared__") == [
+        ("kw", "int"), ("ident", "xIndex"), ("kw", "__shared__")]
+
+
+def test_numbers():
+    assert kinds("0 42 0x1F") == [("int", "0"), ("int", "42"), ("int", "0x1F")]
+
+
+def test_float_literal_rejected():
+    with pytest.raises(ParseError):
+        tokenize("1.5")
+
+
+def test_malformed_hex_rejected():
+    with pytest.raises(ParseError):
+        tokenize("0x")
+
+
+def test_operators_longest_match():
+    assert kinds("a==>b") == [("ident", "a"), ("op", "==>"), ("ident", "b")]
+    assert kinds("a==b") == [("ident", "a"), ("op", "=="), ("ident", "b")]
+    assert kinds("k>>=1") == [("ident", "k"), ("op", ">>="), ("int", "1")]
+    assert kinds("a>>b") == [("ident", "a"), ("op", ">>"), ("ident", "b")]
+    assert kinds("i++") == [("ident", "i"), ("op", "++")]
+
+
+def test_line_comments():
+    assert kinds("a // comment with * tokens\nb") == [
+        ("ident", "a"), ("ident", "b")]
+
+
+def test_block_comments_track_lines():
+    toks = tokenize("a /* multi\nline */ b")
+    b = [t for t in toks if t.text == "b"][0]
+    assert b.line == 2
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(ParseError):
+        tokenize("/* never ends")
+
+
+def test_unexpected_character():
+    with pytest.raises(ParseError) as e:
+        tokenize("a @ b")
+    assert "@" in str(e.value)
+
+
+def test_positions():
+    toks = tokenize("ab\n  cd")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)

@@ -1,0 +1,177 @@
+"""Unit tests for the DSL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import (
+    Assign, Barrier, Binary, Block, Builtin, Call, For, Ident, If, Index,
+    IntLit, Postcond, Spec, Ternary, Unary, VarDecl, parse_expr, parse_kernel,
+    parse_kernels,
+)
+
+MINI = """
+__global__ void k(int *out, int n) {
+  out[tid.x] = n;
+}
+"""
+
+
+class TestKernels:
+    def test_minimal_kernel(self):
+        k = parse_kernel(MINI)
+        assert k.name == "k"
+        assert [p.name for p in k.params] == ["out", "n"]
+        assert [p.is_pointer for p in k.params] == [True, False]
+
+    def test_global_optional(self):
+        k = parse_kernel("void f() { }")
+        assert k.name == "f" and k.body.stmts == ()
+
+    def test_bracket_pointer_param(self):
+        k = parse_kernel("void f(int data[]) { }")
+        assert k.params[0].is_pointer
+
+    def test_unsigned_param(self):
+        k = parse_kernel("void f(unsigned int n, unsigned m) { }")
+        assert len(k.params) == 2
+
+    def test_multiple_kernels(self):
+        ks = parse_kernels(MINI + "\n__global__ void g() { }")
+        assert set(ks) == {"k", "g"}
+
+    def test_exactly_one_required(self):
+        with pytest.raises(ParseError):
+            parse_kernel(MINI + "\nvoid g() { }")
+
+
+class TestStatements:
+    def wrap(self, body):
+        return parse_kernel("void f(int *a, int n) { %s }" % body).body.stmts
+
+    def test_decl_with_init(self):
+        (s,) = self.wrap("int x = n + 1;")
+        assert isinstance(s, VarDecl) and s.name == "x" and s.init is not None
+
+    def test_multi_declarator(self):
+        (blk,) = self.wrap("int i, j;")
+        assert isinstance(blk, Block) and len(blk.stmts) == 2
+
+    def test_shared_decl_dims(self):
+        (s,) = self.wrap("__shared__ int b[bdim.x][bdim.x + 1];")
+        assert isinstance(s, VarDecl) and s.shared and len(s.dims) == 2
+
+    def test_compound_assign(self):
+        (s,) = self.wrap("n += 2;")
+        assert isinstance(s, Assign) and s.op == "+"
+
+    def test_increment(self):
+        (s,) = self.wrap("n++;")
+        assert isinstance(s, Assign) and s.op == "+" and \
+            isinstance(s.value, IntLit) and s.value.value == 1
+
+    def test_shift_assign(self):
+        (s,) = self.wrap("n >>= 1;")
+        assert isinstance(s, Assign) and s.op == ">>"
+
+    def test_array_element_assign(self):
+        (s,) = self.wrap("a[n] = 1;")
+        assert isinstance(s.target, Index)
+
+    def test_barrier(self):
+        (s,) = self.wrap("__syncthreads();")
+        assert isinstance(s, Barrier)
+
+    def test_if_else_normalizes_to_blocks(self):
+        (s,) = self.wrap("if (n < 2) n = 1; else { n = 2; }")
+        assert isinstance(s, If)
+        assert isinstance(s.then, Block) and isinstance(s.els, Block)
+
+    def test_for_loop_with_decl(self):
+        (s,) = self.wrap("for (int k = 1; k < n; k *= 2) { n += k; }")
+        assert isinstance(s, For)
+        assert isinstance(s.init, VarDecl)
+        assert isinstance(s.cond, Binary)
+        assert isinstance(s.step, Assign)
+
+    def test_for_loop_with_assignment_init(self):
+        (blk, s) = self.wrap("int i; for (i = 0; i < n; i++) { }")
+        assert isinstance(s, For) and isinstance(s.init, Assign)
+
+    def test_spec_block(self):
+        (s,) = self.wrap("spec { postcond(n == 0); }")
+        assert isinstance(s, Spec)
+        assert isinstance(s.body.stmts[0], Postcond)
+
+    def test_return_is_noop(self):
+        (s,) = self.wrap("return;")
+        assert isinstance(s, Block) and not s.stmts
+
+    def test_assignment_to_expression_rejected(self):
+        with pytest.raises(ParseError):
+            self.wrap("n + 1 = 2;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            self.wrap("n = 2")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("a + b * c")
+        assert isinstance(e, Binary) and e.op == "+"
+        assert isinstance(e.right, Binary) and e.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        e = parse_expr("a << b + c")
+        assert e.op == "<<"
+
+    def test_comparison_chains_into_bool(self):
+        e = parse_expr("a < b && c == d")
+        assert e.op == "&&"
+
+    def test_implication_lowest_and_right_assoc(self):
+        e = parse_expr("a == 1 ==> b == 2 ==> c == 3")
+        assert e.op == "==>"
+        assert isinstance(e.right, Binary) and e.right.op == "==>"
+
+    def test_ternary(self):
+        e = parse_expr("a < b ? a : b")
+        assert isinstance(e, Ternary)
+
+    def test_unary(self):
+        e = parse_expr("-a + !b")
+        assert isinstance(e.left, Unary) and e.left.op == "-"
+        assert isinstance(e.right, Unary) and e.right.op == "!"
+
+    def test_builtin_aliases(self):
+        assert parse_expr("threadIdx.x") == parse_expr("tid.x")
+        assert isinstance(parse_expr("blockDim.y"), Builtin)
+
+    def test_builtin_axis_validation(self):
+        with pytest.raises(ParseError):
+            parse_expr("tid.w")
+
+    def test_multidim_index(self):
+        e = parse_expr("b[tid.y][tid.x]")
+        assert isinstance(e, Index) and len(e.indices) == 2
+
+    def test_index_base_must_be_name(self):
+        with pytest.raises(ParseError):
+            parse_expr("(a + b)[0]")
+
+    def test_min_max_calls(self):
+        e = parse_expr("min(a, max(b, c))")
+        assert isinstance(e, Call) and e.func == "min"
+        assert isinstance(e.args[1], Call)
+
+    def test_min_arity_checked(self):
+        with pytest.raises(ParseError):
+            parse_expr("min(a)")
+
+    def test_parentheses(self):
+        e = parse_expr("(a + b) * c")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_hex_literal(self):
+        e = parse_expr("0xFF")
+        assert isinstance(e, IntLit) and e.value == 255

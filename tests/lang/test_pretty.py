@@ -1,0 +1,37 @@
+"""Round-trip tests: pretty-printed kernels re-parse to the same AST."""
+
+import pytest
+
+from repro.kernels import KERNELS
+from repro.lang import parse_expr, parse_kernel, pretty_expr, pretty_kernel
+
+
+def _strip_lines(node):
+    """Structural equality ignoring line numbers: compare pretty forms."""
+    return node
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_roundtrip(name):
+    k1 = parse_kernel(KERNELS[name].source)
+    printed = pretty_kernel(k1)
+    k2 = parse_kernel(printed)
+    assert pretty_kernel(k2) == printed  # fixpoint after one round
+
+
+@pytest.mark.parametrize("src", [
+    "a + b * c",
+    "(a + b) * c",
+    "a < b && c == d",
+    "a == 1 ==> b == 2",
+    "x ? y : z",
+    "-a + !b + ~c",
+    "buf[tid.y][tid.x + 1]",
+    "min(a, max(b, c))",
+    "a % (2 * k)",
+])
+def test_expr_roundtrip(src):
+    e1 = parse_expr(src)
+    printed = pretty_expr(e1)
+    e2 = parse_expr(printed)
+    assert pretty_expr(e2) == printed

@@ -1,0 +1,151 @@
+"""Unit tests for the static checker."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.lang import check_kernel, parse_kernel
+
+
+def check(body: str, params: str = "int *a, int n"):
+    return check_kernel(parse_kernel("void f(%s) { %s }" % (params, body)))
+
+
+class TestScoping:
+    def test_params_visible(self):
+        info = check("int x = n; a[x] = 1;")
+        assert "x" in info.locals
+
+    def test_undefined_variable(self):
+        with pytest.raises(TypeCheckError, match="undefined"):
+            check("int x = y;")
+
+    def test_assignment_to_undeclared(self):
+        with pytest.raises(TypeCheckError, match="undeclared"):
+            check("y = 1;")
+
+    def test_redeclaration_same_scope(self):
+        with pytest.raises(TypeCheckError, match="redeclaration"):
+            check("int x = 1; int x = 2;")
+
+    def test_shadowing_in_nested_scope_rejected(self):
+        # keep it simple and strict: no shadowing anywhere
+        with pytest.raises(TypeCheckError, match="redeclaration"):
+            check("int x = 1; if (n == 0) { int x = 2; }")
+
+    def test_duplicate_params(self):
+        with pytest.raises(TypeCheckError, match="duplicate"):
+            check("", params="int n, int n")
+
+    def test_loop_scoped_declaration(self):
+        info = check("for (int k = 0; k < n; k++) { a[k] = k; }")
+        assert "k" in info.locals
+
+
+class TestArrays:
+    def test_array_as_scalar_rejected(self):
+        with pytest.raises(TypeCheckError, match="as a scalar"):
+            check("int x = a;")
+
+    def test_scalar_indexed_rejected(self):
+        with pytest.raises(TypeCheckError, match="not an array"):
+            check("int x = n[0];")
+
+    def test_assign_array_name_rejected(self):
+        with pytest.raises(TypeCheckError, match="array"):
+            check("a = 1;")
+
+    def test_rank_mismatch(self):
+        with pytest.raises(TypeCheckError, match="rank"):
+            check("__shared__ int b[bdim.x][bdim.x]; b[0] = 1;")
+
+    def test_global_arrays_are_rank_one(self):
+        with pytest.raises(TypeCheckError, match="rank"):
+            check("a[0][1] = 2;")
+
+    def test_shared_requires_dims(self):
+        with pytest.raises(TypeCheckError):
+            check_kernel(parse_kernel(
+                "void f() { __shared__ int b; b = 1; }"))
+
+    def test_local_array_rejected(self):
+        with pytest.raises(TypeCheckError, match="__shared__"):
+            check("int b[4];")
+
+    def test_shared_initializer_rejected(self):
+        # parser accepts the shape; the checker rejects the initializer
+        with pytest.raises(TypeCheckError):
+            check("__shared__ int b[4] = 1;")
+
+
+class TestBarrierPlacement:
+    def test_top_level_barrier_ok(self):
+        info = check("__syncthreads();")
+        assert info.has_barrier
+
+    def test_barrier_under_uniform_branch_ok(self):
+        check("if (n > 0) { __syncthreads(); }")
+
+    def test_barrier_under_tid_branch_rejected(self):
+        with pytest.raises(TypeCheckError, match="divergence"):
+            check("if (tid.x > 0) { __syncthreads(); }")
+
+    def test_barrier_under_tid_tainted_local_rejected(self):
+        with pytest.raises(TypeCheckError, match="divergence"):
+            check("int x = tid.x; if (x < n) { __syncthreads(); }")
+
+    def test_taint_cleared_by_uniform_reassignment(self):
+        check("int x = tid.x; x = n; if (x < 2) { __syncthreads(); }")
+
+    def test_barrier_in_tid_bounded_loop_rejected(self):
+        with pytest.raises(TypeCheckError, match="divergence"):
+            check("for (int k = 0; k < tid.x; k++) { __syncthreads(); }")
+
+    def test_barrier_in_uniform_loop_ok(self):
+        check("for (int k = 0; k < n; k++) { __syncthreads(); }")
+
+
+class TestSpecConstructs:
+    def test_spec_collected(self):
+        info = check("spec { postcond(a[0] == 0); }")
+        assert info.spec is not None
+        assert info.postconds == []  # spec postconds are not inline ones
+
+    def test_inline_postcond_collected(self):
+        info = check("int i; postcond(i < n ==> a[i] == 0);")
+        assert len(info.postconds) == 1
+
+    def test_statement_after_spec_rejected(self):
+        with pytest.raises(TypeCheckError, match="follow a spec"):
+            check("spec { postcond(n == 0); } n = 1;")
+
+    def test_multiple_specs_rejected(self):
+        # a second spec block is caught by the nothing-after-spec rule
+        with pytest.raises(TypeCheckError, match="spec"):
+            check("spec { postcond(n == 0); } spec { postcond(n == 1); }")
+
+    def test_tid_in_spec_rejected(self):
+        with pytest.raises(TypeCheckError, match="tid"):
+            check("spec { postcond(a[tid.x] == 0); }")
+
+    def test_implication_outside_postcond_rejected(self):
+        with pytest.raises(TypeCheckError, match="==>"):
+            check("if (n == 1 ==> n == 2) { }")
+
+    def test_barrier_in_spec_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("spec { __syncthreads(); }")
+
+    def test_assume_collected(self):
+        info = check("assume(bdim.x == bdim.y);")
+        assert len(info.assumes) == 1
+
+
+class TestInfoSummary:
+    def test_array_classification(self):
+        info = check("__shared__ int s[bdim.x]; s[tid.x] = a[tid.x];")
+        assert info.global_arrays == ["a"]
+        assert info.shared_arrays == ["s"]
+
+    def test_loop_flag(self):
+        assert check("for (int k = 0; k < n; k++) { }").has_loop
+        assert not check("a[0] = 1;").has_loop

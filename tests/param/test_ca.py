@@ -1,0 +1,235 @@
+"""Unit tests for conditional-assignment extraction (Section IV-A)."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.kernels import load
+from repro.lang import check_kernel, parse_kernel
+from repro.param.ca import LoopModel, PlainModel, extract_model
+from repro.param.geometry import Geometry
+from repro.smt import BVVar, Kind, evaluate
+
+
+def model_of(src_or_name, width=8):
+    from repro.kernels import KERNELS
+    if src_or_name in KERNELS:
+        _, info = load(src_or_name)
+    else:
+        info = check_kernel(parse_kernel(src_or_name))
+    geo = Geometry.create(width)
+    inputs = {p: BVVar(f"tc.{p}", width) for p in info.scalar_params}
+    return extract_model(info, geo, inputs, hint="tc"), geo, inputs
+
+
+class TestBasicExtraction:
+    def test_unconditional_write(self):
+        model, geo, _ = model_of("void f(int *o) { o[tid.x] = tid.x + 1; }")
+        (seg,) = model.segments
+        assert isinstance(seg, PlainModel)
+        (ca,) = seg.cas
+        assert ca.array == "o"
+        assert ca.guard.is_true()
+        assert ca.address[0] is model.thread.tid["x"]
+
+    def test_guarded_write(self):
+        model, _, inputs = model_of(
+            "void f(int *o, int n) { if (tid.x < n) { o[tid.x] = 1; } }")
+        (ca,) = model.segments[0].cas
+        assert not ca.guard.is_true()
+        # guard is tid.x < n
+        env = {model.thread.tid["x"]: 2, inputs["n"]: 3}
+        assert evaluate(ca.guard, env) is True
+        env[inputs["n"]] = 1
+        assert evaluate(ca.guard, env) is False
+
+    def test_nested_guards_conjoin(self):
+        model, _, inputs = model_of("""
+            void f(int *o, int n) {
+                if (tid.x < n) { if (tid.x > 1) { o[tid.x] = 1; } }
+            }""")
+        (ca,) = model.segments[0].cas
+        t = model.thread.tid["x"]
+        assert evaluate(ca.guard, {t: 2, inputs["n"]: 4}) is True
+        assert evaluate(ca.guard, {t: 1, inputs["n"]: 4}) is False
+
+    def test_else_branch_negates(self):
+        model, _, inputs = model_of("""
+            void f(int *o, int n) {
+                if (tid.x < n) { o[0] = 1; } else { o[1] = 2; }
+            }""")
+        ca_then, ca_else = model.segments[0].cas
+        t = model.thread.tid["x"]
+        env = {t: 5, inputs["n"]: 3}
+        assert evaluate(ca_then.guard, env) is False
+        assert evaluate(ca_else.guard, env) is True
+
+    def test_locals_are_inlined(self):
+        model, geo, _ = model_of("""
+            void f(int *o) {
+                int x = tid.x * 2;
+                o[x + 1] = x;
+            }""")
+        (ca,) = model.segments[0].cas
+        env = {model.thread.tid["x"]: 3}
+        assert evaluate(ca.address[0], env) == 7
+        assert evaluate(ca.value, env) == 6
+
+    def test_ite_merged_locals(self):
+        model, _, inputs = model_of("""
+            void f(int *o, int n) {
+                int x = 1;
+                if (n > 0) { x = 2; }
+                o[tid.x] = x;
+            }""")
+        (ca,) = model.segments[0].cas
+        assert evaluate(ca.value, {inputs["n"]: 5}) == 2
+        assert evaluate(ca.value, {inputs["n"]: 0}) == 1
+
+    def test_multidim_address_kept_componentwise(self):
+        model, _, _ = model_of("""
+            void f(int *o) {
+                __shared__ int b[bdim.y][bdim.x];
+                b[tid.y][tid.x] = 1;
+            }""")
+        (ca,) = model.segments[0].cas
+        assert len(ca.address) == 2
+
+    def test_2d_thread_and_block(self):
+        model, geo, _ = model_of(
+            "void f(int *o) { o[bid.y * bdim.y + tid.y] = bid.x; }")
+        (ca,) = model.segments[0].cas
+        th = model.thread
+        env = {th.bid["y"]: 2, geo.bdim["y"]: 4, th.tid["y"]: 1,
+               th.bid["x"]: 7}
+        assert evaluate(ca.address[0], env) == 9
+        assert evaluate(ca.value, env) == 7
+
+
+class TestReads:
+    def test_read_becomes_atom(self):
+        model, _, _ = model_of("void f(int *o, int *i) { o[tid.x] = i[tid.x + 1]; }")
+        seg = model.segments[0]
+        (read,) = seg.reads
+        assert read.array == "i"
+        assert read.atom in model.reads_by_atom
+        (ca,) = seg.cas
+        assert ca.value is read.atom
+
+    def test_two_reads_two_atoms(self):
+        model, _, _ = model_of(
+            "void f(int *o, int *i) { o[tid.x] = i[tid.x] + i[tid.x + 1]; }")
+        assert len(model.segments[0].reads) == 2
+
+    def test_compound_assign_reads_cell(self):
+        model, _, _ = model_of("""
+            void f(int *o) {
+                __shared__ int s[bdim.x];
+                s[tid.x] = 0;
+                __syncthreads();
+                s[tid.x] += 1;
+                __syncthreads();
+                o[tid.x] = s[tid.x];
+            }""")
+        seg1 = model.segments[1]
+        assert len(seg1.reads) == 1  # the += read
+        assert seg1.reads[0].bi == seg1.index
+
+    def test_read_own_write_same_cell_resolves(self):
+        model, _, _ = model_of("""
+            void f(int *o) {
+                o[tid.x] = 5;
+                o[tid.x] += 1;
+            }""")
+        seg = model.segments[0]
+        assert len(seg.cas) == 2
+        # the += resolved against the first CA: value is 5 + 1
+        assert seg.cas[1].value.value == 6
+        assert not seg.reads
+
+    def test_possibly_aliasing_own_write_rejected(self):
+        with pytest.raises(EncodingError, match="alias"):
+            model_of("""
+                void f(int *o, int n) {
+                    o[tid.x] = 5;
+                    o[n] += 1;
+                }""")
+
+
+class TestLoops:
+    def test_barrier_loop_becomes_loop_model(self):
+        model, geo, _ = model_of("naiveReduce")
+        kinds = [type(s).__name__ for s in model.segments]
+        assert kinds == ["PlainModel", "LoopModel", "PlainModel"]
+        loop = model.segments[1]
+        assert isinstance(loop, LoopModel)
+        assert loop.space.kind == "pow2"
+        assert loop.space.bound is geo.bdim["x"]
+
+    def test_loop_body_over_symbolic_k(self):
+        model, geo, _ = model_of("optimizedReduce")
+        loop = model.segments[1]
+        (body,) = loop.body
+        (ca,) = body.cas
+        # address is 2 * k * tid.x
+        env = {loop.loop_var: 2, model.thread.tid["x"]: 3,
+               geo.bdim["x"]: 16}
+        assert evaluate(ca.address[0], env) == 12
+
+    def test_loop_carried_scalar_rejected(self):
+        with pytest.raises(EncodingError, match="carried"):
+            model_of("""
+                void f(int *o) {
+                    int acc = 0;
+                    __syncthreads();
+                    for (int k = 1; k < bdim.x; k *= 2) {
+                        acc += k;
+                        __syncthreads();
+                    }
+                    o[tid.x] = acc;
+                }""")
+
+    def test_matmul_accumulator_rejected(self):
+        with pytest.raises(EncodingError):
+            model_of("tiledMatMul")
+
+    def test_unrollable_concrete_loop(self):
+        model, _, _ = model_of("""
+            void f(int *o) {
+                int s = 0;
+                for (int i = 0; i < 3; i++) { s += i; }
+                o[tid.x] = s;
+            }""")
+        (ca,) = model.segments[0].cas
+        assert ca.value.value == 3
+
+    def test_symbolic_bound_without_barrier_rejected(self):
+        with pytest.raises(EncodingError, match="symbolic"):
+            model_of("""
+                void f(int *o, int n) {
+                    int s = 0;
+                    for (int i = 0; i < n; i++) { s += i; }
+                    o[tid.x] = s;
+                }""")
+
+
+class TestSuiteKernels:
+    @pytest.mark.parametrize("name,n_cas", [
+        ("naiveTranspose", 1),
+        ("optimizedTranspose", 2),
+        ("naiveReduce", 3),       # load + loop body + final write
+        ("optimizedReduce", 3),
+    ])
+    def test_ca_counts(self, name, n_cas):
+        model, _, _ = model_of(name)
+        total = sum(len(p.cas) for p in model.all_plain())
+        assert total == n_cas
+
+    def test_assume_and_assert_collected(self):
+        model, _, inputs = model_of("""
+            void f(int *o, int n) {
+                assume(n > 2);
+                assert(tid.x < bdim.x);
+                o[tid.x] = n;
+            }""")
+        assert len(model.assumes) == 1
+        assert len(model.asserts) == 1

@@ -1,0 +1,121 @@
+"""Unit tests for loop-header analysis and alignment (Section IV-E)."""
+
+import pytest
+
+from repro.errors import AlignmentError, EncodingError
+from repro.lang import parse_kernel
+from repro.lang.ast import For
+from repro.param.loops import align, parse_header
+from repro.encode.symexec import eval_expr
+from repro.smt import BVConst, BVVar, evaluate
+
+
+class Scope:
+    width = 8
+
+    def __init__(self):
+        self.bdim = BVVar("tl.bdim", 8)
+
+    def local(self, name, line):
+        return BVVar(f"tl.{name}", 8)
+
+    def builtin(self, base, axis, line):
+        return self.bdim
+
+    def read_array(self, name, indices, line):
+        raise AssertionError
+
+
+S = Scope()
+
+
+def header(src: str):
+    k = parse_kernel("void f(int n) { %s { } }" % src)
+    loop = k.body.stmts[0]
+    assert isinstance(loop, For)
+    return parse_header(loop, lambda e: eval_expr(e, S))
+
+
+class TestShapes:
+    def test_geometric_ascending(self):
+        sp = header("for (unsigned int k = 1; k < bdim.x; k *= 2)")
+        assert sp.kind == "pow2" and sp.ascending
+        assert sp.bound is S.bdim
+
+    def test_geometric_ascending_shift(self):
+        sp = header("for (int k = 1; k < bdim.x; k <<= 1)")
+        assert sp.kind == "pow2" and sp.ascending
+
+    def test_geometric_descending(self):
+        sp = header("for (int k = bdim.x / 2; k > 0; k >>= 1)")
+        assert sp.kind == "pow2" and not sp.ascending
+        assert sp.bound is S.bdim
+
+    def test_geometric_descending_div(self):
+        sp = header("for (int k = bdim.x / 2; k > 0; k /= 2)")
+        assert sp.kind == "pow2" and not sp.ascending
+
+    def test_arithmetic(self):
+        sp = header("for (int k = 0; k < bdim.x; k += 1)")
+        assert sp.kind == "range" and sp.ascending
+
+    def test_arithmetic_increment(self):
+        sp = header("for (int k = 0; k < bdim.x; k++)")
+        assert sp.kind == "range"
+
+    def test_assignment_init(self):
+        k = parse_kernel(
+            "void f() { int k; for (k = 1; k < bdim.x; k *= 2) { } }")
+        loop = k.body.stmts[1]
+        sp = parse_header(loop, lambda e: eval_expr(e, S))
+        assert sp.kind == "pow2"
+
+    @pytest.mark.parametrize("src", [
+        "for (int k = 2; k < bdim.x; k *= 2)",     # wrong start
+        "for (int k = 1; k <= bdim.x; k *= 2)",    # inclusive bound
+        "for (int k = 1; k < bdim.x; k *= 3)",     # wrong factor
+        "for (int k = bdim.x; k > 0; k >>= 1)",    # start not bound/2
+        "for (int k = 1; k < bdim.x; k = k)",      # no-op step
+        "for (int k = 5; k != 0; k -= 1)",         # unsupported shape
+    ])
+    def test_unrecognized_shapes(self, src):
+        with pytest.raises(EncodingError):
+            header(src)
+
+
+class TestConstraint:
+    def test_pow2_space_membership(self):
+        sp = header("for (int k = 1; k < bdim.x; k *= 2)")
+        kv = BVVar("tl.k", 8)
+        c = sp.constraint(kv)
+        for k, bdim, expect in [(1, 8, True), (2, 8, True), (4, 8, True),
+                                (8, 8, False), (3, 8, False), (0, 8, False),
+                                (4, 4, False)]:
+            assert evaluate(c, {kv: k, S.bdim: bdim}) is expect, (k, bdim)
+
+    def test_range_space_membership(self):
+        sp = header("for (int k = 0; k < bdim.x; k += 1)")
+        kv = BVVar("tl.k2", 8)
+        c = sp.constraint(kv)
+        assert evaluate(c, {kv: 3, S.bdim: 4}) is True
+        assert evaluate(c, {kv: 4, S.bdim: 4}) is False
+
+
+class TestAlign:
+    def test_same_headers_align(self):
+        a = header("for (int k = 1; k < bdim.x; k *= 2)")
+        b = header("for (int j = 1; j < bdim.x; j *= 2)")
+        align(a, b)  # no exception; variable names don't matter
+
+    def test_ascending_descending_needs_reorder_flag(self):
+        a = header("for (int k = 1; k < bdim.x; k *= 2)")
+        b = header("for (int k = bdim.x / 2; k > 0; k >>= 1)")
+        with pytest.raises(AlignmentError, match="commutative"):
+            align(a, b)
+        align(a, b, allow_reorder=True)
+
+    def test_different_spaces_rejected(self):
+        a = header("for (int k = 1; k < bdim.x; k *= 2)")
+        b = header("for (int k = 0; k < bdim.x; k += 1)")
+        with pytest.raises(AlignmentError, match="differ"):
+            align(a, b)

@@ -1,0 +1,106 @@
+"""Unit tests for the monotone-gap quantifier elimination (Section IV-D)."""
+
+from repro.lang import check_kernel, parse_kernel
+from repro.param.ca import extract_model
+from repro.param.geometry import Geometry
+from repro.param.monotone import build_monotone_frame
+from repro.smt import And, BVConst, BVVar, CheckResult, Eq, Not, Solver, ULt
+
+
+def make(src, width=8):
+    info = check_kernel(parse_kernel(src))
+    geo = Geometry.create(width)
+    inputs = {p: BVVar(f"tm.{p}", width) for p in info.scalar_params}
+    model = extract_model(info, geo, inputs, hint="tm")
+    (ca,) = model.segments[0].cas
+    return model, geo, inputs, ca
+
+
+def prove(premises, obligations):
+    s = Solver()
+    s.add(*premises, Not(And(*obligations)))
+    return s.check() is CheckResult.UNSAT
+
+
+class TestBuild:
+    def test_strided_write_qualifies(self):
+        # Monotonicity of 2*t needs a no-overflow bound on the domain: with
+        # bdim unconstrained, 2*t wraps at t >= 128 in 8 bits.
+        model, geo, _, ca = make("void f(int *o) { o[2 * tid.x] = 1; }")
+        premises = [*geo.base_assumptions(), ULt(geo.bdim["x"], BVConst(64, 8))]
+        frame = build_monotone_frame(ca, model, geo, prove, premises)
+        assert frame is not None
+
+    def test_strided_write_unbounded_domain_fails_monotonicity(self):
+        model, geo, _, ca = make("void f(int *o) { o[2 * tid.x] = 1; }")
+        assert build_monotone_frame(ca, model, geo, prove,
+                                    geo.base_assumptions()) is None
+
+    def test_identity_write_qualifies(self):
+        model, geo, _, ca = make("void f(int *o) { o[tid.x] = 1; }")
+        assert build_monotone_frame(ca, model, geo, prove,
+                                    geo.base_assumptions()) is not None
+
+    def test_decreasing_address_rejected(self):
+        model, geo, _, ca = make(
+            "void f(int *o) { o[bdim.x - tid.x] = 1; }")
+        assert build_monotone_frame(ca, model, geo, prove,
+                                    geo.base_assumptions()) is None
+
+    def test_2d_thread_rejected(self):
+        model, geo, _, ca = make(
+            "void f(int *o) { o[tid.y * bdim.x + tid.x] = 1; }")
+        assert build_monotone_frame(ca, model, geo, prove,
+                                    geo.base_assumptions()) is None
+
+    def test_non_prefix_guard_rejected(self):
+        model, geo, _, ca = make(
+            "void f(int *o) { if (tid.x > 2) { o[tid.x] = 1; } }")
+        assert build_monotone_frame(ca, model, geo, prove,
+                                    geo.base_assumptions()) is None
+
+    def test_prefix_guard_accepted(self):
+        model, geo, inputs, ca = make(
+            "void f(int *o, int n) { if (tid.x < n) { o[tid.x] = 1; } }")
+        frame = build_monotone_frame(ca, model, geo, prove,
+                                     geo.base_assumptions())
+        assert frame is not None
+
+
+class TestGapSemantics:
+    def test_stride2_gap(self):
+        """o[2*tid.x]: odd cells are unwritten, even in-range cells written."""
+        model, geo, _, ca = make("void f(int *o) { o[2 * tid.x] = 1; }")
+        base = [*geo.base_assumptions(), Eq(geo.bdim["x"], 4)]
+        frame = build_monotone_frame(ca, model, geo, prove, base)
+        assert frame is not None
+        cell = BVVar("tm.cell", 8)
+
+        def unwritten_possible(cell_value):
+            s = Solver()
+            s.add(*base, Eq(cell, BVConst(cell_value, 8)),
+                  *frame.condition(cell))
+            return s.check() is CheckResult.SAT
+
+        # odd cells and cells beyond 2*(bdim-1) are unwritten
+        assert unwritten_possible(1)
+        assert unwritten_possible(3)
+        assert unwritten_possible(7)
+        assert unwritten_possible(100)
+        # written cells: 0, 2, 4, 6 — the gap condition must be UNSAT
+        for v in (0, 2, 4, 6):
+            assert not unwritten_possible(v), v
+
+    def test_empty_write_set(self):
+        model, geo, inputs, ca = make(
+            "void f(int *o, int n) { if (tid.x < n) { o[tid.x] = 1; } }")
+        frame = build_monotone_frame(ca, model, geo, prove,
+                                     geo.base_assumptions())
+        assert frame is not None
+        cell = BVVar("tm.cell2", 8)
+        s = Solver()
+        # n = 0: nothing written, even cell 0 is unwritten
+        s.add(*geo.base_assumptions(), Eq(geo.bdim["x"], 4),
+              Eq(inputs["n"], 0), Eq(cell, BVConst(0, 8)),
+              *frame.condition(cell))
+        assert s.check() is CheckResult.SAT

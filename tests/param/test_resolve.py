@@ -1,0 +1,170 @@
+"""Unit tests for CA instantiation and read resolution (Figure 2)."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.kernels import load
+from repro.lang import check_kernel, parse_kernel
+from repro.param.ca import PlainModel, extract_model
+from repro.param.geometry import Geometry, ThreadInstance
+from repro.param.resolve import (
+    GroupContext, PrestateStore, instantiate, resolve_value,
+)
+from repro.smt import (
+    And, BVVar, CheckResult, Kind, Not, Solver, Term, evaluate, iter_dag,
+)
+
+
+def build(src_or_name, width=8, bughunt=False):
+    from repro.kernels import KERNELS
+    if src_or_name in KERNELS:
+        _, info = load(src_or_name)
+    else:
+        info = check_kernel(parse_kernel(src_or_name))
+    geo = Geometry.create(width)
+    inputs = {p: BVVar(f"tr.{p}", width) for p in info.scalar_params}
+    model = extract_model(info, geo, inputs, hint="tr")
+    plains = [s for s in model.segments if isinstance(s, PlainModel)]
+    prestate = PrestateStore(0, width, set())
+
+    def prove(premises, obligations):
+        s = Solver()
+        s.add(*geo.base_assumptions(), *premises,
+              Not(And(*obligations)))
+        return s.check() is CheckResult.UNSAT
+
+    ctx = GroupContext(
+        model=model, plains=plains, geometry=geo, hint="tr",
+        prestate=lambda a, addr, bid: prestate.select(
+            "k", a, info.arrays[a].shared, addr, bid),
+        prove=prove, bughunt=bughunt)
+    return model, geo, ctx
+
+
+class TestInstantiate:
+    def test_thread_renamed(self):
+        model, geo, ctx = build("void f(int *o) { o[tid.x] = tid.x; }")
+        ca = ctx.plains[0].cas[0]
+        th = ThreadInstance.fresh(geo, "x")
+        inst = instantiate(ca, model, th)
+        assert inst.address[0] is th.tid["x"]
+        assert inst.value is th.tid["x"]
+
+    def test_read_atoms_freshened(self):
+        model, geo, ctx = build(
+            "void f(int *o, int *i) { o[tid.x] = i[tid.x]; }")
+        ca = ctx.plains[0].cas[0]
+        th1 = ThreadInstance.fresh(geo, "x")
+        th2 = ThreadInstance.fresh(geo, "y")
+        i1 = instantiate(ca, model, th1)
+        i2 = instantiate(ca, model, th2)
+        assert i1.reads[0].atom is not i2.reads[0].atom
+        assert i1.reads[0].address[0] is th1.tid["x"]
+        assert i2.reads[0].address[0] is th2.tid["x"]
+
+
+class TestResolution:
+    def test_prestate_for_unwritten_array(self):
+        model, geo, ctx = build(
+            "void f(int *o, int *i) { o[tid.x] = i[tid.x]; }")
+        ca = ctx.plains[0].cas[0]
+        th = ThreadInstance.fresh(geo, "x")
+        inst = instantiate(ca, model, th)
+        cases = resolve_value(inst.value, inst.reads, ctx, th, [])
+        assert len(cases) == 1
+        assert cases[0].via == "pre"
+        assert not cases[0].constraints
+
+    def test_chained_resolution_through_shared(self):
+        """The optimized-transpose pattern: the output read chains through
+        the tile CA with a fresh writer thread and matching constraints."""
+        model, geo, ctx = build("optimizedTranspose")
+        final = ctx.plains[1].cas[0]
+        th = ThreadInstance.fresh(geo, "x")
+        inst = instantiate(final, model, th)
+        cases = resolve_value(inst.value, inst.reads, ctx, th, [])
+        # one matched-writer case (+ no unconditional prestate case)
+        matched = [c for c in cases if c.via != "pre"]
+        assert matched
+        case = matched[0]
+        assert case.threads, "a fresh writer thread must be introduced"
+        writer = case.threads[0]
+        # matching constraints pin the writer's tid (paper: t2.x = t1.y ...)
+        assert any(t.kind == Kind.EQ for t in case.constraints)
+        # the resolved value reads idata, not the tile
+        arrays = {t.payload for t in iter_dag(case.value)
+                  if t.kind == Kind.VAR and "idata" in str(t.payload)}
+        assert arrays
+
+    def test_writer_shares_reader_block_for_shared_arrays(self):
+        model, geo, ctx = build("optimizedTranspose")
+        final = ctx.plains[1].cas[0]
+        th = ThreadInstance.fresh(geo, "x")
+        inst = instantiate(final, model, th)
+        cases = resolve_value(inst.value, inst.reads, ctx, th, [])
+        case = [c for c in cases if c.threads][0]
+        writer = case.threads[0]
+        assert writer.borrowed_bid
+        assert writer.bid["x"] is th.bid["x"]
+
+    def test_bughunt_skips_coverage(self):
+        model, geo, ctx = build("optimizedTranspose", bughunt=True)
+        final = ctx.plains[1].cas[0]
+        th = ThreadInstance.fresh(geo, "x")
+        inst = instantiate(final, model, th)
+        resolve_value(inst.value, inst.reads, ctx, th, [])
+        assert any("bughunt" in msg for msg in ctx.incomplete_reads)
+
+    def test_multi_interval_overwrite_rejected(self):
+        model, geo, ctx = build("""
+            void f(int *o) {
+                __shared__ int s[bdim.x];
+                s[tid.x] = 1;
+                __syncthreads();
+                s[tid.x] = 2;
+                __syncthreads();
+                o[tid.x] = s[tid.x];
+            }""")
+        final = ctx.plains[2].cas[0]
+        th = ThreadInstance.fresh(geo, "x")
+        inst = instantiate(final, model, th)
+        with pytest.raises(EncodingError, match="intervals"):
+            resolve_value(inst.value, inst.reads, ctx, th, [])
+
+    def test_two_reads_cartesian_cases(self):
+        model, geo, ctx = build(
+            "void f(int *o, int *i) { o[tid.x] = i[tid.x] + i[tid.x + 1]; }")
+        ca = ctx.plains[0].cas[0]
+        th = ThreadInstance.fresh(geo, "x")
+        inst = instantiate(ca, model, th)
+        cases = resolve_value(inst.value, inst.reads, ctx, th, [])
+        assert len(cases) == 1  # 1 x 1 prestate cases
+
+
+class TestPrestateStore:
+    def test_same_canonical_key_shares_select(self):
+        store = PrestateStore(0, 8, {"s"})
+        geo = Geometry.create(8)
+        th = ThreadInstance.fresh(geo, "p")
+        a = th.tid["x"]
+        s1 = store.select("src", "s", True, (a,), th.bid)
+        s2 = store.select("tgt", "s", True, (a,), th.bid)
+        assert s1 is s2  # common array: induction hypothesis
+
+    def test_non_common_arrays_distinct(self):
+        store = PrestateStore(0, 8, set())
+        geo = Geometry.create(8)
+        th = ThreadInstance.fresh(geo, "p")
+        s1 = store.select("src", "s", True, (th.tid["x"],), th.bid)
+        s2 = store.select("tgt", "s", True, (th.tid["x"],), th.bid)
+        assert s1 is not s2
+
+    def test_initial_globals_resolve_to_inputs(self):
+        from repro.smt import ArrayVar, Select
+        arr = ArrayVar("tr.glob", 8, 8)
+        store = PrestateStore(0, 8, set(),
+                              initial_globals={"g": arr})
+        geo = Geometry.create(8)
+        th = ThreadInstance.fresh(geo, "p")
+        out = store.select("src", "g", False, (th.tid["x"],), th.bid)
+        assert out is Select(arr, th.tid["x"])

@@ -1,0 +1,110 @@
+"""Unit tests for barrier-interval segmentation."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.lang import parse_kernel
+from repro.param.segments import LoopSeg, PlainSeg, contains_barrier, segment_body
+
+
+def segs(body: str):
+    kernel = parse_kernel("void f(int *a, int n) { %s }" % body)
+    return segment_body(kernel.body)
+
+
+def test_no_barrier_single_interval():
+    out = segs("a[tid.x] = 1;")
+    assert len(out.segments) == 1
+    assert isinstance(out.segments[0], PlainSeg)
+
+
+def test_barrier_splits():
+    out = segs("a[tid.x] = 1; __syncthreads(); a[tid.x] = 2;")
+    assert len(out.segments) == 2
+
+
+def test_trailing_barrier_no_empty_interval():
+    out = segs("a[tid.x] = 1; __syncthreads();")
+    assert len(out.segments) == 1
+
+
+def test_postcond_collected_not_segmented():
+    out = segs("a[tid.x] = 1; int i; postcond(i < n ==> a[i] == 1);")
+    assert len(out.postconds) == 1
+
+
+def test_spec_collected():
+    out = segs("a[tid.x] = 1; spec { postcond(a[0] == 1); }")
+    assert out.spec is not None
+
+
+def test_loop_with_barrier_becomes_loopseg():
+    out = segs("""
+        __syncthreads();
+        for (int k = 1; k < bdim.x; k *= 2) {
+            a[tid.x] = k;
+            __syncthreads();
+        }
+    """)
+    # first interval (before the barrier) is empty-but-present, then the loop
+    kinds = [type(s).__name__ for s in out.segments]
+    assert "LoopSeg" in kinds
+    loop = [s for s in out.segments if isinstance(s, LoopSeg)][0]
+    assert len(loop.body) == 1
+
+
+def test_loop_not_on_boundary_rejected():
+    with pytest.raises(EncodingError, match="boundary"):
+        segs("""
+            a[tid.x] = 0;
+            for (int k = 1; k < bdim.x; k *= 2) {
+                a[tid.x] = k;
+                __syncthreads();
+            }
+        """)
+
+
+def test_loop_body_without_trailing_barrier_rejected():
+    with pytest.raises(EncodingError, match="end with"):
+        segs("""
+            __syncthreads();
+            for (int k = 1; k < bdim.x; k *= 2) {
+                __syncthreads();
+                a[tid.x] = k;
+            }
+        """)
+
+
+def test_assume_only_prefix_before_loop_ok():
+    out = segs("""
+        assume(n > 0);
+        for (int k = 1; k < bdim.x; k *= 2) {
+            a[tid.x] = k;
+            __syncthreads();
+        }
+    """)
+    assert any(isinstance(s, LoopSeg) for s in out.segments)
+
+
+def test_barrier_under_uniform_if_rejected_by_param():
+    with pytest.raises(EncodingError, match="conditionals"):
+        segs("if (n > 0) { __syncthreads(); }")
+
+
+def test_contains_barrier():
+    k = parse_kernel("void f() { if (1) { __syncthreads(); } }")
+    assert contains_barrier(k.body)
+    k2 = parse_kernel("void f(int *a) { a[0] = 1; }")
+    assert not contains_barrier(k2.body)
+
+
+def test_suite_kernels_segment():
+    from repro.kernels import KERNELS, load
+    expected_loops = {"naiveReduce": 1, "optimizedReduce": 1, "scanNaive": 1,
+                      "scalarProd": 1, "naiveTranspose": 0,
+                      "optimizedTranspose": 0}
+    for name, loops in expected_loops.items():
+        kernel, _ = load(name)
+        out = segment_body(kernel.body)
+        got = sum(isinstance(s, LoopSeg) for s in out.segments)
+        assert got == loops, name

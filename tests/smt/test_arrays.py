@@ -1,0 +1,89 @@
+"""Unit tests for array elimination (write-chain expansion + Ackermann)."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.smt import (
+    And, ArrayVar, BVConst, BVVar, Eq, Implies, Ite, Kind, Ne, Select, Store,
+    collect, iter_dag,
+)
+from repro.smt.arrays import eliminate_arrays
+from repro.smt.sorts import ArraySort
+
+a = ArrayVar("aa", 8, 8)
+b = ArrayVar("ab", 8, 8)
+i = BVVar("ai", 8)
+j = BVVar("aj", 8)
+v = BVVar("av", 8)
+
+
+def _has_arrays(terms):
+    return any(isinstance(t.sort, ArraySort) or t.kind in (Kind.SELECT, Kind.STORE)
+               for root in terms for t in iter_dag(root))
+
+
+def test_output_is_array_free():
+    f = Eq(Select(Store(a, i, v), j), BVConst(0, 8))
+    out, info = eliminate_arrays([f])
+    assert not _has_arrays(out)
+    assert a in info.reads
+
+
+def test_plain_select_becomes_fresh_var():
+    f = Eq(Select(a, i), BVConst(1, 8))
+    out, info = eliminate_arrays([f])
+    assert len(info.reads[a]) == 1
+    idx, var = info.reads[a][0]
+    assert idx is i and var.is_var()
+
+
+def test_same_canonical_index_shares_variable():
+    # a[i + j] and a[j + i] are the same read
+    f = And(Eq(Select(a, i + j), BVConst(1, 8)),
+            Eq(Select(a, j + i), BVConst(1, 8)))
+    out, info = eliminate_arrays([f])
+    assert len(info.reads[a]) == 1
+
+
+def test_congruence_constraints_emitted():
+    f = Ne(Select(a, i), Select(a, j))
+    out, info = eliminate_arrays([f])
+    assert len(info.reads[a]) == 2
+    # one congruence implication: i = j -> r_i = r_j
+    assert len(out) == 2
+    impl = out[1]
+    assert impl.kind == Kind.IMPLIES
+
+
+def test_provably_distinct_indices_skip_congruence():
+    f = Ne(Select(a, i), Select(a, i + 1))
+    out, info = eliminate_arrays([f])
+    assert len(info.reads[a]) == 2
+    assert len(out) == 1  # no congruence needed
+
+
+def test_write_chain_expands_to_ite():
+    f = Eq(Select(Store(Store(a, i, BVConst(1, 8)), j, BVConst(2, 8)), v),
+           BVConst(0, 8))
+    out, _ = eliminate_arrays([f])
+    # the expansion contains an ite on index equality
+    ites = collect(lambda t: t.kind == Kind.ITE, *out)
+    assert ites
+
+
+def test_arrays_kept_separate():
+    f = Eq(Select(a, i), Select(b, i))
+    out, info = eliminate_arrays([f])
+    assert set(info.reads) == {a, b}
+
+
+def test_extensionality_rejected():
+    with pytest.raises(SolverError):
+        eliminate_arrays([Eq(a, b)])
+
+
+def test_select_through_ite_of_arrays():
+    p = Eq(i, BVConst(0, 8))
+    f = Eq(Select(Ite(p, Store(a, i, v), a), j), BVConst(3, 8))
+    out, info = eliminate_arrays([f])
+    assert not _has_arrays(out)

@@ -1,0 +1,109 @@
+"""Unit tests for the polynomial normalizer (repro.smt.poly)."""
+
+from repro.smt import BVAdd, BVConst, BVMul, BVNeg, BVShl, BVSub, BVVar, Select, ArrayVar
+from repro.smt.poly import normalize_arith, normalize_eq, poly_of, poly_to_term, split_linear
+from repro.smt.sorts import BV
+
+x = BVVar("px", 8)
+y = BVVar("py", 8)
+z = BVVar("pz", 8)
+
+
+def test_distribution():
+    # x * (y + 3)  ==  x*y + 3*x
+    lhs = normalize_arith(BVMul(x, BVAdd(y, BVConst(3, 8))))
+    rhs = normalize_arith(BVAdd(BVMul(x, y), BVMul(BVConst(3, 8), x)))
+    assert lhs is rhs
+
+
+def test_cancellation():
+    # (x + y) - y == x
+    t = normalize_arith(BVSub(BVAdd(x, y), y))
+    assert t is x
+
+
+def test_negation_cancels():
+    t = normalize_arith(BVAdd(x, BVNeg(x)))
+    assert t.value == 0
+
+
+def test_coefficient_collection():
+    # x + x + x == 3x  and  3x == 2x + x
+    three_x = normalize_arith(BVAdd(BVAdd(x, x), x))
+    assert three_x is normalize_arith(BVAdd(BVMul(BVConst(2, 8), x), x))
+
+
+def test_modular_coefficients_wrap():
+    # 255x + x == 0 (mod 256)
+    t = normalize_arith(BVAdd(BVMul(BVConst(255, 8), x), x))
+    assert t.value == 0
+
+
+def test_shl_by_const_is_multiplication():
+    assert normalize_arith(BVShl(x, BVConst(3, 8))) is \
+        normalize_arith(BVMul(x, BVConst(8, 8)))
+
+
+def test_nonlinear_monomials():
+    # x*y*2 + x*y == 3*x*y
+    t = normalize_arith(BVAdd(BVMul(BVMul(x, y), BVConst(2, 8)), BVMul(x, y)))
+    assert t is normalize_arith(BVMul(BVConst(3, 8), BVMul(x, y)))
+
+
+def test_atoms_are_opaque():
+    a = ArrayVar("pa", 8, 8)
+    s = Select(a, x)
+    # select terms are atoms; sums over them still collect
+    t = normalize_arith(BVAdd(s, s))
+    assert t is normalize_arith(BVMul(BVConst(2, 8), s))
+
+
+def test_normalize_eq_moves_negatives_across():
+    # x - y == 0  normalizes to  x == y
+    lhs, rhs = normalize_eq(BVSub(x, y), BVConst(0, 8))
+    assert {lhs, rhs} == {x, y}
+
+
+def test_normalize_eq_trivial_equality():
+    lhs, rhs = normalize_eq(BVAdd(x, y), BVAdd(y, x))
+    assert lhs is rhs
+
+
+def test_poly_roundtrip_empty():
+    t = poly_to_term({}, BV(8))
+    assert t.value == 0
+
+
+def test_poly_of_constant():
+    p = poly_of(BVConst(7, 8))
+    assert p == {(): 7}
+
+
+class TestSplitLinear:
+    def test_simple_affine(self):
+        # 2*x + y  is  (2, y)  in x
+        res = split_linear(BVAdd(BVMul(BVConst(2, 8), x), y), x)
+        assert res is not None
+        a, b = res
+        assert a.value == 2
+        assert b is y
+
+    def test_var_absent(self):
+        res = split_linear(y, x)
+        assert res is not None
+        a, b = res
+        assert a.value == 0 and b is y
+
+    def test_symbolic_coefficient(self):
+        # y*x + 3: coefficient y, offset 3
+        res = split_linear(BVAdd(BVMul(y, x), BVConst(3, 8)), x)
+        assert res is not None
+        a, b = res
+        assert a is y and b.value == 3
+
+    def test_quadratic_rejected(self):
+        assert split_linear(BVMul(x, x), x) is None
+
+    def test_var_inside_atom_rejected(self):
+        a = ArrayVar("pa2", 8, 8)
+        assert split_linear(Select(a, x), x) is None

@@ -1,0 +1,92 @@
+"""Unit tests for the simplifier, including read-over-write resolution with
+polynomially-decided index (dis)equality."""
+
+from repro.smt import (
+    And, ArrayVar, BVAdd, BVConst, BVMul, BVSub, BVVar, Eq, FALSE, Implies,
+    Ite, Kind, Not, Or, Select, Store, TRUE, ULt,
+)
+from repro.smt.simplify import index_difference, simplify, simplify_all
+
+x = BVVar("sx", 8)
+y = BVVar("sy", 8)
+a = ArrayVar("sa", 8, 8)
+
+
+def test_arith_equality_discharges():
+    # (x + y) * 2 == 2x + 2y  ->  true
+    lhs = BVMul(BVAdd(x, y), BVConst(2, 8))
+    rhs = BVAdd(BVMul(BVConst(2, 8), x), BVMul(BVConst(2, 8), y))
+    assert simplify(Eq(lhs, rhs)) is TRUE
+
+
+def test_arith_disequality_discharges():
+    # x + 1 == x + 2  ->  false
+    assert simplify(Eq(BVAdd(x, BVConst(1, 8)), BVAdd(x, BVConst(2, 8)))) is FALSE
+
+
+def test_index_difference():
+    assert index_difference(x, x) == 0
+    assert index_difference(BVAdd(x, BVConst(1, 8)), x) == 1
+    assert index_difference(x, y) is None
+    assert index_difference(BVAdd(x, y), BVAdd(y, x)) == 0
+
+
+def test_read_over_write_hit():
+    v = BVVar("sv", 8)
+    # select(store(a, x+1, v), 1+x) -> v
+    t = Select(Store(a, BVAdd(x, BVConst(1, 8)), v), BVAdd(BVConst(1, 8), x))
+    assert simplify(t) is v
+
+
+def test_read_over_write_miss():
+    v = BVVar("sv", 8)
+    # indices differ by the constant 1: skip the store
+    t = Select(Store(a, BVAdd(x, BVConst(1, 8)), v), x)
+    s = simplify(t)
+    assert s.kind == Kind.SELECT
+    assert s.args[0] is a
+
+
+def test_read_over_write_unknown_stays():
+    v = BVVar("sv", 8)
+    t = Select(Store(a, y, v), x)
+    s = simplify(t)
+    assert s.kind == Kind.SELECT  # cannot decide aliasing
+    assert s.args[0].kind == Kind.STORE
+
+
+def test_select_through_array_ite():
+    p = Eq(x, BVConst(0, 8))
+    v = BVVar("sv", 8)
+    arr = Ite(p, Store(a, x, v), a)
+    t = simplify(Select(arr, x))
+    # Both branches resolve: ite(p, v, a[x])
+    assert t.kind == Kind.ITE
+
+
+def test_deep_store_chain_resolves_constant_reads():
+    arr = a
+    for i in range(20):
+        arr = Store(arr, BVConst(i, 8), BVConst(i + 100, 8))
+    assert simplify(Select(arr, BVConst(5, 8))).value == 105
+
+
+def test_simplify_is_idempotent_on_examples():
+    examples = [
+        Eq(BVMul(BVAdd(x, y), BVConst(2, 8)), x),
+        Select(Store(a, y, x), BVAdd(y, BVConst(1, 8))),
+        And(ULt(x, y), Or(Eq(x, y), Not(Eq(x, y)))),
+        Implies(ULt(x, y), ULt(x, BVAdd(y, BVConst(0, 8)))),
+    ]
+    for e in examples:
+        once = simplify(e)
+        assert simplify(once) is once
+
+
+def test_simplify_all_shares_cache():
+    ts = [Eq(BVAdd(x, y), BVAdd(y, x)), Eq(BVSub(x, x), BVConst(0, 8))]
+    assert simplify_all(ts) == [TRUE, TRUE]
+
+
+def test_tautology_or_with_negation():
+    assert simplify(Or(Eq(x, y), Not(Eq(y, x)))) is TRUE

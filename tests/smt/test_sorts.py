@@ -1,0 +1,57 @@
+"""Unit tests for sort interning and value helpers."""
+
+import pytest
+
+from repro.smt.sorts import ARRAY, BOOL, BV, ArraySort, BitVecSort, BoolSort
+
+
+def test_bool_sort_is_singleton():
+    assert BoolSort() is BOOL
+    assert BOOL.is_bool() and not BOOL.is_bv() and not BOOL.is_array()
+
+
+def test_bitvec_sorts_are_interned_by_width():
+    assert BV(8) is BV(8)
+    assert BV(8) is not BV(16)
+    assert BV(8).width == 8
+
+
+def test_bitvec_mask_and_modulus():
+    s = BV(8)
+    assert s.mask == 0xFF
+    assert s.modulus == 256
+
+
+def test_bitvec_clip_wraps_modulo():
+    s = BV(8)
+    assert s.clip(256) == 0
+    assert s.clip(-1) == 255
+    assert s.clip(300) == 44
+
+
+def test_bitvec_to_signed():
+    s = BV(8)
+    assert s.to_signed(0) == 0
+    assert s.to_signed(127) == 127
+    assert s.to_signed(128) == -128
+    assert s.to_signed(255) == -1
+
+
+@pytest.mark.parametrize("width", [0, -1])
+def test_bitvec_rejects_nonpositive_width(width):
+    with pytest.raises(ValueError):
+        BV(width)
+
+
+def test_array_sorts_are_interned():
+    assert ARRAY(8, 32) is ARRAY(8, 32)
+    assert ARRAY(8, 32) is not ARRAY(8, 16)
+    a = ARRAY(8, 32)
+    assert a.index_sort is BV(8)
+    assert a.elem_sort is BV(32)
+    assert a.is_array()
+
+
+def test_array_sort_rejects_non_bv_components():
+    with pytest.raises(ValueError):
+        ArraySort(BOOL, BV(8))  # type: ignore[arg-type]

@@ -1,0 +1,93 @@
+"""Unit tests for substitution and concrete evaluation."""
+
+import pytest
+
+from repro.smt import (
+    And, ArrayVar, BVAdd, BVAshr, BVConst, BVMul, BVSub, BVUDiv, BVURem,
+    BVVar, BoolVar, Concat, Eq, Extract, FALSE, Implies, Ite, Not, Or, Select,
+    SignExt, SLt, Store, TRUE, ULt, Xor, ZeroExt, evaluate, substitute,
+)
+
+x = BVVar("ux", 8)
+y = BVVar("uy", 8)
+p = BoolVar("up")
+a = ArrayVar("ua", 8, 8)
+
+
+class TestSubstitute:
+    def test_variable_replacement(self):
+        t = BVAdd(x, y)
+        assert substitute(t, {x: y}) is BVAdd(y, y)
+
+    def test_constant_substitution_folds(self):
+        t = BVAdd(BVMul(x, y), BVConst(1, 8))
+        out = substitute(t, {x: BVConst(2, 8), y: BVConst(3, 8)})
+        assert out.value == 7
+
+    def test_empty_mapping_is_identity(self):
+        t = BVAdd(x, y)
+        assert substitute(t, {}) is t
+
+    def test_subterm_replacement(self):
+        # replacing a non-variable subterm works too
+        t = BVAdd(BVMul(x, y), BVConst(1, 8))
+        out = substitute(t, {BVMul(x, y): x})
+        assert out is BVAdd(x, BVConst(1, 8))
+
+    def test_bool_structure(self):
+        t = Implies(p, Eq(x, y))
+        out = substitute(t, {p: TRUE})
+        assert out is Eq(x, y)
+
+    def test_deep_term_no_recursion_error(self):
+        t = x
+        for i in range(30_000):
+            t = BVAdd(t, BVConst(1, 8))
+        out = substitute(t, {x: BVConst(0, 8)})
+        assert out.value == 30_000 % 256
+
+
+class TestEvaluate:
+    def test_arith(self):
+        t = BVSub(BVMul(x, y), BVConst(5, 8))
+        assert evaluate(t, {x: 7, y: 9}) == (63 - 5)
+
+    def test_division_conventions(self):
+        assert evaluate(BVUDiv(x, y), {x: 9, y: 0}) == 255
+        assert evaluate(BVURem(x, y), {x: 9, y: 0}) == 9
+
+    def test_signed_ops(self):
+        assert evaluate(SLt(x, y), {x: 255, y: 0}) is True  # -1 < 0
+        assert evaluate(BVAshr(x, y), {x: 0x80, y: 7}) == 0xFF
+
+    def test_structural(self):
+        assert evaluate(Concat(x, y), {x: 0xAB, y: 0xCD}) == 0xABCD
+        assert evaluate(Extract(x, 7, 4), {x: 0xAB}) == 0xA
+        assert evaluate(ZeroExt(x, 8), {x: 0xFF}) == 0xFF
+        assert evaluate(SignExt(x, 8), {x: 0xFF}) == 0xFFFF
+
+    def test_bool(self):
+        q = BoolVar("uq")
+        assert evaluate(And(p, Or(q, Not(q))), {p: True, q: False}) is True
+        assert evaluate(Xor(p, p), {p: True}) is False
+
+    def test_unbound_defaults(self):
+        assert evaluate(x, {}) == 0
+        assert evaluate(p, {}) is False
+        assert evaluate(Select(a, x), {}) == 0
+
+    def test_arrays(self):
+        env = {a: {3: 42}, x: 3}
+        assert evaluate(Select(a, x), env) == 42
+        assert evaluate(Select(Store(a, BVConst(3, 8), BVConst(7, 8)), x), env) == 7
+        # store must not mutate the original dict
+        assert env[a][3] == 42
+
+    def test_array_default_key(self):
+        env = {a: {"default": 9}, x: 100}
+        assert evaluate(Select(a, x), env) == 9
+
+    def test_ite(self):
+        t = Ite(ULt(x, y), x, y)  # min
+        assert evaluate(t, {x: 3, y: 200}) == 3
+        assert evaluate(t, {x: 201, y: 200}) == 200

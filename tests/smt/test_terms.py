@@ -1,0 +1,253 @@
+"""Unit tests for term construction: interning, constant folding, and the
+cheap local identities of the smart constructors."""
+
+import pytest
+
+from repro.errors import SortError
+from repro.smt import (
+    FALSE, TRUE, And, BVAdd, BVAnd, BVAshr, BVConst, BVLshr, BVMul, BVNeg,
+    BVNot, BVOr, BVShl, BVSub, BVUDiv, BVURem, BVVar, BVXor, BoolVar, Concat,
+    Distinct, Eq, Extract, Implies, Ite, Kind, Ne, Not, Or, Select, SignExt,
+    SLt, Store, ULe, ULt, Var, Xor, ZeroExt, fresh_var, iter_dag, term_size,
+)
+from repro.smt.sorts import ARRAY, BOOL, BV
+
+x = BVVar("x", 8)
+y = BVVar("y", 8)
+p = BoolVar("p")
+q = BoolVar("q")
+
+
+class TestInterning:
+    def test_same_structure_same_object(self):
+        assert BVAdd(x, y) is BVAdd(x, y)
+        assert Var("x", BV(8)) is x
+
+    def test_different_width_different_var(self):
+        assert Var("x", BV(8)) is not Var("x", BV(16))
+
+    def test_fresh_vars_are_distinct(self):
+        assert fresh_var("t", BV(8)) is not fresh_var("t", BV(8))
+
+    def test_commutative_argument_order_is_canonical(self):
+        assert BVAdd(x, y) is BVAdd(y, x)
+        assert BVMul(x, y) is BVMul(y, x)
+        assert And(p, q) is And(q, p)
+        assert Eq(x, y) is Eq(y, x)
+
+
+class TestBoolConstructors:
+    def test_not_folds(self):
+        assert Not(TRUE) is FALSE
+        assert Not(FALSE) is TRUE
+        assert Not(Not(p)) is p
+
+    def test_and_identities(self):
+        assert And() is TRUE
+        assert And(p) is p
+        assert And(p, TRUE) is p
+        assert And(p, FALSE) is FALSE
+        assert And(p, p) is p
+        assert And(p, Not(p)) is FALSE
+
+    def test_and_flattens(self):
+        t = And(And(p, q), p)
+        assert t.kind == Kind.AND
+        assert len(t.args) == 2
+
+    def test_or_identities(self):
+        assert Or() is FALSE
+        assert Or(p) is p
+        assert Or(p, FALSE) is p
+        assert Or(p, TRUE) is TRUE
+        assert Or(p, Not(p)) is TRUE
+
+    def test_xor_identities(self):
+        assert Xor(p, p) is FALSE
+        assert Xor(p, FALSE) is p
+        assert Xor(p, TRUE) is Not(p)
+
+    def test_implies_identities(self):
+        assert Implies(TRUE, p) is p
+        assert Implies(FALSE, p) is TRUE
+        assert Implies(p, TRUE) is TRUE
+        assert Implies(p, FALSE) is Not(p)
+        assert Implies(p, p) is TRUE
+
+    def test_ite_identities(self):
+        assert Ite(TRUE, x, y) is x
+        assert Ite(FALSE, x, y) is y
+        assert Ite(p, x, x) is x
+        assert Ite(p, TRUE, FALSE) is p
+        assert Ite(p, FALSE, TRUE) is Not(p)
+        assert Ite(Not(p), x, y) is Ite(p, y, x)
+
+    def test_eq_identities(self):
+        assert Eq(x, x) is TRUE
+        assert Eq(BVConst(3, 8), BVConst(3, 8)) is TRUE
+        assert Eq(BVConst(3, 8), BVConst(4, 8)) is FALSE
+        assert Eq(p, TRUE) is p
+        assert Eq(p, FALSE) is Not(p)
+
+    def test_eq_accepts_python_int(self):
+        assert Eq(x, 3) is Eq(x, BVConst(3, 8))
+
+    def test_ne(self):
+        assert Ne(x, x) is FALSE
+
+    def test_distinct_expands_pairwise(self):
+        d = Distinct(x, y, BVAdd(x, y))
+        assert d.kind in (Kind.AND, Kind.NOT)
+
+    def test_sort_errors(self):
+        with pytest.raises(SortError):
+            And(x, p)  # x is not Bool
+        with pytest.raises(SortError):
+            Eq(x, p)
+        with pytest.raises(SortError):
+            Ite(p, x, BVVar("z", 16))
+
+
+class TestBVConstantFolding:
+    def test_const_wraps(self):
+        assert BVConst(256, 8).value == 0
+        assert BVConst(-1, 8).value == 255
+
+    def test_add_fold(self):
+        assert BVAdd(BVConst(200, 8), BVConst(100, 8)).value == 44
+        assert BVAdd(x, BVConst(0, 8)) is x
+
+    def test_sub_fold(self):
+        assert BVSub(BVConst(3, 8), BVConst(5, 8)).value == 254
+        assert BVSub(x, BVConst(0, 8)) is x
+        assert BVSub(x, x).value == 0
+
+    def test_neg(self):
+        assert BVNeg(BVConst(1, 8)).value == 255
+        assert BVNeg(BVNeg(x)) is x
+
+    def test_mul_fold(self):
+        assert BVMul(BVConst(16, 8), BVConst(17, 8)).value == 16
+        assert BVMul(x, BVConst(1, 8)) is x
+        assert BVMul(x, BVConst(0, 8)).value == 0
+
+    def test_udiv_semantics(self):
+        assert BVUDiv(BVConst(7, 8), BVConst(2, 8)).value == 3
+        assert BVUDiv(BVConst(7, 8), BVConst(0, 8)).value == 255  # SMT-LIB: /0 = ones
+        assert BVUDiv(x, BVConst(1, 8)) is x
+
+    def test_udiv_pow2_becomes_shift(self):
+        t = BVUDiv(x, BVConst(4, 8))
+        assert t.kind == Kind.BVLSHR
+
+    def test_urem_semantics(self):
+        assert BVURem(BVConst(7, 8), BVConst(4, 8)).value == 3
+        assert BVURem(BVConst(7, 8), BVConst(0, 8)).value == 7  # SMT-LIB: x%0 = x
+        assert BVURem(x, BVConst(1, 8)).value == 0
+
+    def test_urem_pow2_becomes_mask(self):
+        t = BVURem(x, BVConst(8, 8))
+        assert t.kind == Kind.BVAND
+
+    def test_bitwise(self):
+        assert BVAnd(BVConst(0b1100, 8), BVConst(0b1010, 8)).value == 0b1000
+        assert BVOr(BVConst(0b1100, 8), BVConst(0b1010, 8)).value == 0b1110
+        assert BVXor(BVConst(0b1100, 8), BVConst(0b1010, 8)).value == 0b0110
+        assert BVNot(BVConst(0, 8)).value == 255
+        assert BVAnd(x, x) is x
+        assert BVOr(x, BVConst(0, 8)) is x
+        assert BVAnd(x, BVConst(0xFF, 8)) is x
+        assert BVXor(x, x).value == 0
+
+    def test_shifts(self):
+        assert BVShl(BVConst(1, 8), BVConst(3, 8)).value == 8
+        assert BVShl(BVConst(1, 8), BVConst(9, 8)).value == 0  # overshift
+        assert BVLshr(BVConst(128, 8), BVConst(3, 8)).value == 16
+        assert BVAshr(BVConst(128, 8), BVConst(3, 8)).value == 0b11110000
+        assert BVShl(x, BVConst(0, 8)) is x
+
+    def test_comparisons_fold(self):
+        assert ULt(BVConst(1, 8), BVConst(2, 8)) is TRUE
+        assert ULt(x, BVConst(0, 8)) is FALSE
+        assert ULe(BVConst(0, 8), x) is TRUE
+        assert ULt(x, x) is FALSE
+        assert ULe(x, x) is TRUE
+        assert SLt(BVConst(255, 8), BVConst(0, 8)) is TRUE  # -1 < 0 signed
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(SortError):
+            BVAdd(x, BVVar("w", 16))
+
+
+class TestStructural:
+    def test_concat(self):
+        t = Concat(BVConst(0xAB, 8), BVConst(0xCD, 8))
+        assert t.value == 0xABCD
+        assert t.sort is BV(16)
+
+    def test_extract(self):
+        assert Extract(BVConst(0xABCD, 16), 15, 8).value == 0xAB
+        assert Extract(x, 7, 0) is x
+        with pytest.raises(SortError):
+            Extract(x, 8, 0)
+
+    def test_zero_ext(self):
+        t = ZeroExt(BVConst(0xFF, 8), 8)
+        assert t.value == 0xFF and t.sort is BV(16)
+        assert ZeroExt(x, 0) is x
+
+    def test_sign_ext(self):
+        t = SignExt(BVConst(0xFF, 8), 8)
+        assert t.value == 0xFFFF
+
+
+class TestArrays:
+    a = Var("a", ARRAY(8, 32))
+
+    def test_select_store_same_index(self):
+        v = BVVar("v", 32)
+        assert Select(Store(self.a, x, v), x) is v
+
+    def test_select_store_distinct_const_indices(self):
+        v = BVVar("v", 32)
+        t = Select(Store(self.a, BVConst(1, 8), v), BVConst(2, 8))
+        assert t.kind == Kind.SELECT
+        assert t.args[0] is self.a  # store was skipped
+
+    def test_select_coerces_int_index(self):
+        t = self.a[3]
+        assert t.kind == Kind.SELECT
+
+    def test_sort_errors(self):
+        with pytest.raises(SortError):
+            Select(x, x)
+        with pytest.raises(SortError):
+            Store(self.a, x, x)  # value has wrong width
+
+
+class TestOperatorSugar:
+    def test_arith_sugar(self):
+        assert (x + y) is BVAdd(x, y)
+        assert (x - 1) is BVSub(x, BVConst(1, 8))
+        assert (x * 2) is BVMul(x, BVConst(2, 8))
+        assert (x << 1) is BVShl(x, BVConst(1, 8))
+        assert (~x) is BVNot(x)
+        assert (~p) is Not(p)
+        assert x.ult(y) is ULt(x, y)
+        assert x.eq(5) is Eq(x, BVConst(5, 8))
+
+
+class TestTraversal:
+    def test_iter_dag_postorder_and_dedup(self):
+        t = BVAdd(BVMul(x, y), BVMul(x, y))  # folds: add of identical = ?
+        nodes = list(iter_dag(Eq(BVMul(x, y), t)))
+        assert len(nodes) == len(set(nodes))
+        # children precede parents
+        pos = {n: i for i, n in enumerate(nodes)}
+        for n in nodes:
+            for c in n.args:
+                assert pos[c] < pos[n]
+
+    def test_term_size(self):
+        assert term_size(x) == 1
+        assert term_size(BVAdd(x, y)) == 3
