@@ -18,7 +18,8 @@ from ..lang.interp import LaunchConfig
 from ..lang.typecheck import KernelInfo
 from ..param.equivalence import ParamOptions, check_equivalence_param
 from ..smt import (
-    ArrayVar, BVVar, CheckResult, Eq, Ne, Or, Select, Solver, Term, fresh_var,
+    ArrayVar, BVVar, CheckResult, Eq, Ne, Or, Query, Select, Term,
+    fresh_scope, fresh_var, solve_query,
 )
 from ..smt.sorts import BV
 from .replay import replay_equivalence
@@ -33,7 +34,9 @@ def check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
                                concretize_extent: int | None = None,
                                timeout: float | None = None,
                                do_simplify: bool = True,
-                               validate: bool = True) -> CheckOutcome:
+                               validate: bool = True,
+                               jobs: int | None = None,
+                               cache=None) -> CheckOutcome:
     """Section III baseline: serialize all threads of ``config`` and ask the
     solver for an input on which the outputs differ.
 
@@ -41,6 +44,18 @@ def check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
     implied by the geometry); ``concretize_extent`` is the paper's ``+C.``
     flag — pin that many input-array cells to concrete values.
     """
+    with fresh_scope():
+        return _check_equivalence_nonparam(
+            src_info, tgt_info, config, scalar_values=scalar_values,
+            concretize_extent=concretize_extent, timeout=timeout,
+            do_simplify=do_simplify, validate=validate, jobs=jobs,
+            cache=cache)
+
+
+def _check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
+                                config: LaunchConfig, *, scalar_values,
+                                concretize_extent, timeout, do_simplify,
+                                validate, jobs, cache) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     width = config.width
@@ -82,18 +97,21 @@ def check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
         outcome.elapsed = time.monotonic() - start
         return outcome
 
-    solver = Solver(timeout=timeout, do_simplify=do_simplify)
-    solver.add(*constraints, Or(*differs))
-    result = solver.check()
+    response = solve_query(
+        Query([*constraints, Or(*differs)], timeout=timeout,
+              do_simplify=do_simplify),
+        cache=cache)
+    result = response.verdict
     outcome.vcs_checked = 1
-    outcome.solver_time = float(solver.stats.get("time", 0.0))
+    outcome.solver_time = response.solver_time
+    outcome.merge_solver_stats(response.stats)
     if result is CheckResult.UNSAT:
         outcome.verdict = Verdict.VERIFIED
     elif result is CheckResult.UNKNOWN:
         outcome.verdict = Verdict.TIMEOUT
         outcome.reason = "budget exhausted (the paper's T.O)"
     else:
-        model = solver.model()
+        model = response.model()
         scalars = {n: (pinned[n] if n in pinned else int(model[v]))  # type: ignore[arg-type]
                    for n, v in inputs.items()}
         contents = {}
@@ -131,7 +149,9 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
                       concretize_extent: int | None = None,
                       scalar_values: dict[str, int] | None = None,
                       timeout: float | None = None,
-                      options: ParamOptions | None = None) -> CheckOutcome:
+                      options: ParamOptions | None = None,
+                      jobs: int | None = None,
+                      cache=None) -> CheckOutcome:
     """Unified entry point.
 
     ``method="param"`` — the paper's parameterized checker: needs ``width``
@@ -144,6 +164,10 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
         opts = options or ParamOptions()
         if timeout is not None:
             opts.timeout = timeout
+        if jobs is not None:
+            opts.jobs = jobs
+        if cache is not None:
+            opts.cache = cache
         return check_equivalence_param(
             src_info, tgt_info, width,
             assumption_builder=assumption_builder,
@@ -155,5 +179,5 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
             src_info, tgt_info, config,
             scalar_values=scalar_values,
             concretize_extent=concretize_extent,
-            timeout=timeout)
+            timeout=timeout, jobs=jobs, cache=cache)
     raise ValueError(f"unknown method {method!r}")

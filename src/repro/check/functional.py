@@ -32,8 +32,8 @@ from ..param.geometry import Geometry, ThreadInstance
 from ..param.resolve import GroupContext, PrestateStore, resolve_value
 from ..param.ca import Read
 from ..smt import (
-    And, ArrayVar, BVConst, BVVar, CheckResult, Eq, Implies, Not, Select,
-    Solver, Term, fresh_var,
+    And, ArrayVar, BVConst, BVVar, CheckResult, Eq, Implies, Not, Query,
+    Select, Term, fresh_scope, fresh_var, solve_all,
 )
 from ..smt.sorts import BV
 from .replay import extract_launch, replay_postcondition
@@ -155,8 +155,19 @@ def _exec_ghost(stmts: tuple[Stmt, ...], scope: _GhostScope,
 def check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
                               scalar_values: dict[str, int] | None = None,
                               timeout: float | None = None,
-                              validate: bool = True) -> CheckOutcome:
+                              validate: bool = True,
+                              jobs: int | None = None,
+                              cache=None) -> CheckOutcome:
     """Refute the kernel's post-conditions at a concrete geometry."""
+    with fresh_scope():
+        return _check_functional_nonparam(
+            info, config, scalar_values=scalar_values, timeout=timeout,
+            validate=validate, jobs=jobs, cache=cache)
+
+
+def _check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
+                               scalar_values, timeout, validate, jobs,
+                               cache) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     width = config.width
@@ -184,14 +195,18 @@ def check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
     constraints: list[Term] = list(model.assumes)
 
     deadline = start + timeout if timeout else None
-    for obligation, line in obligations:
-        budget = None if deadline is None else max(deadline - time.monotonic(),
-                                                   0.01)
-        solver = Solver(timeout=budget)
-        solver.add(*constraints, Not(obligation))
-        result = solver.check()
+    budget = None if deadline is None else max(deadline - time.monotonic(),
+                                               0.01)
+    # Per-obligation VCs are independent: one batch through the dispatcher.
+    responses = solve_all(
+        [Query([*constraints, Not(obligation)], timeout=budget)
+         for obligation, _ in obligations],
+        jobs=jobs, cache=cache)
+    for response, (obligation, line) in zip(responses, obligations):
+        result = response.verdict
         outcome.vcs_checked += 1
-        outcome.solver_time += float(solver.stats.get("time", 0.0))
+        outcome.solver_time += response.solver_time
+        outcome.merge_solver_stats(response.stats)
         if result is CheckResult.UNSAT:
             continue
         if result is CheckResult.UNKNOWN:
@@ -199,7 +214,7 @@ def check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
             outcome.reason = "budget exhausted (the paper's T.O)"
             outcome.elapsed = time.monotonic() - start
             return outcome
-        smt_model = solver.model()
+        smt_model = response.model()
         scalars = {n: (pinned[n] if n in pinned else int(smt_model[v]))  # type: ignore[arg-type]
                    for n, v in inputs.items()}
         contents = {}
@@ -242,13 +257,25 @@ def check_functional_param(info: KernelInfo, width: int, *,
                            concretize: dict | None = None,
                            timeout: float | None = None,
                            bughunt: bool = False,
-                           validate: bool = True) -> CheckOutcome:
+                           validate: bool = True,
+                           jobs: int | None = None,
+                           cache=None) -> CheckOutcome:
     """Parameterized post-condition checking (loop-free kernels).
 
     The post-condition's array reads are resolved through the kernel's CAs
     with fresh-thread instantiation (Section IV-A's computation of
     ``odata[k]``), so the proof covers every thread count.
     """
+    with fresh_scope():
+        return _check_functional_param(
+            info, width, assumption_builder=assumption_builder,
+            concretize=concretize, timeout=timeout, bughunt=bughunt,
+            validate=validate, jobs=jobs, cache=cache)
+
+
+def _check_functional_param(info: KernelInfo, width: int, *,
+                            assumption_builder, concretize, timeout,
+                            bughunt, validate, jobs, cache) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     geometry = Geometry.create(width)
@@ -293,12 +320,15 @@ def check_functional_param(info: KernelInfo, width: int, *,
         return max(deadline - time.monotonic(), 0.01)
 
     def prove(premises: list[Term], obligations: list[Term]) -> bool:
-        solver = Solver(timeout=budget())
-        solver.add(*assumptions, *premises, Not(And(*obligations)))
+        from ..smt import solve_query
+        response = solve_query(
+            Query([*assumptions, *premises, Not(And(*obligations))],
+                  timeout=budget()),
+            cache=cache)
         outcome.vcs_checked += 1
-        res = solver.check()
-        outcome.solver_time += float(solver.stats.get("time", 0.0))
-        return res is CheckResult.UNSAT
+        outcome.solver_time += response.solver_time
+        outcome.merge_solver_stats(response.stats)
+        return response.verdict is CheckResult.UNSAT
 
     prestate = PrestateStore(0, width, set(input_arrays),
                              initial_globals=input_arrays)
@@ -360,13 +390,16 @@ def check_functional_param(info: KernelInfo, width: int, *,
             obligation = Implies(And(*premises), eval_bool(cond, scope))
             cases = resolve_value(obligation, scope.reads, ctx, ghost,
                                   premises)
-            for case in cases:
-                solver = Solver(timeout=budget())
-                solver.add(*assumptions, *case.constraints,
-                           Not(case.value))
+            # Resolution cases are independent VCs: batch them.
+            responses = solve_all(
+                [Query([*assumptions, *case.constraints, Not(case.value)],
+                       timeout=budget()) for case in cases],
+                jobs=jobs, cache=cache)
+            for response in responses:
                 outcome.vcs_checked += 1
-                result = solver.check()
-                outcome.solver_time += float(solver.stats.get("time", 0.0))
+                outcome.solver_time += response.solver_time
+                outcome.merge_solver_stats(response.stats)
+                result = response.verdict
                 if result is CheckResult.UNSAT:
                     continue
                 if result is CheckResult.UNKNOWN:
@@ -374,7 +407,7 @@ def check_functional_param(info: KernelInfo, width: int, *,
                     outcome.reason = "budget exhausted (the paper's T.O)"
                     outcome.elapsed = time.monotonic() - start
                     return outcome
-                smt_model = solver.model()
+                smt_model = response.model()
                 cex = extract_launch(smt_model, geometry, inputs,
                                      input_arrays)
                 cex.detail = f"postcondition at line {pc.line} violated"

@@ -29,7 +29,8 @@ from ..param.ca import CA, KernelModel, LoopModel, PlainModel, Read, extract_mod
 from ..param.geometry import Geometry, ThreadInstance
 from ..param.resolve import instantiate
 from ..smt import (
-    And, ArrayVar, BVVar, CheckResult, Eq, Ne, Not, Or, Solver, Term,
+    And, ArrayVar, BVVar, CheckResult, Eq, Ne, Not, Or, Query, Term,
+    fresh_scope, solve_all,
 )
 from ..lang.interp import LaunchConfig, run_kernel
 from .replay import MAX_REPLAY_THREADS, extract_launch
@@ -103,13 +104,29 @@ def check_races(info: KernelInfo, width: int = 16, *,
                 assumption_builder=None,
                 concretize: dict | None = None,
                 timeout: float | None = None,
-                validate: bool = True) -> CheckOutcome:
+                validate: bool = True,
+                jobs: int | None = None,
+                cache=None) -> CheckOutcome:
     """Check the kernel race-free for any thread count.
 
     A ``VERIFIED`` verdict means no two distinct threads can conflict on any
     shared or global cell within any barrier interval, for any configuration
     satisfying the assumptions.
+
+    All interval-pair queries are independent; they are batched through
+    :func:`repro.smt.dispatch.solve_all` (``jobs`` worker processes, shared
+    canonical query ``cache``).  Results are consumed in generation order,
+    so verdicts are identical to a serial run.
     """
+    with fresh_scope():
+        return _check_races(info, width,
+                            assumption_builder=assumption_builder,
+                            concretize=concretize, timeout=timeout,
+                            validate=validate, jobs=jobs, cache=cache)
+
+
+def _check_races(info: KernelInfo, width: int, *, assumption_builder,
+                 concretize, timeout, validate, jobs, cache) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     geometry = Geometry.create(width)
@@ -159,24 +176,38 @@ def check_races(info: KernelInfo, width: int = 16, *,
     small = min(4, (1 << width) - 1)
     bounds = [v.ule(small) for v in (*geometry.bdim.values(),
                                      *geometry.gdim.values())]
-    for q in queries:
-        budget = None if deadline is None else \
-            max(deadline - time.monotonic(), 0.01)
-        # Prefer a small (replayable) counterexample; fall back to the
-        # unbounded query so verification stays complete.
-        solver = Solver(timeout=budget)
-        solver.add(*assumptions, *q.terms, *bounds)
+
+    def budget() -> float | None:
+        if deadline is None:
+            return None
+        return max(deadline - time.monotonic(), 0.01)
+
+    def account(res) -> None:
         outcome.vcs_checked += 1
-        result = solver.check()
-        outcome.solver_time += float(solver.stats.get("time", 0.0))
-        if result is not CheckResult.SAT:
-            budget = None if deadline is None else \
-                max(deadline - time.monotonic(), 0.01)
-            solver = Solver(timeout=budget)
-            solver.add(*assumptions, *q.terms)
-            outcome.vcs_checked += 1
-            result = solver.check()
-            outcome.solver_time += float(solver.stats.get("time", 0.0))
+        outcome.solver_time += res.solver_time
+        outcome.merge_solver_stats(res.stats)
+
+    # Prefer a small (replayable) counterexample per query; fall back to the
+    # unbounded query so verification stays complete.  Both rounds are
+    # independent batches fanned out by the dispatcher.
+    bounded = solve_all(
+        [Query([*assumptions, *q.terms, *bounds], timeout=budget())
+         for q in queries],
+        jobs=jobs, cache=cache)
+    need_full = [i for i, r in enumerate(bounded)
+                 if r.verdict is not CheckResult.SAT]
+    full = dict(zip(need_full, solve_all(
+        [Query([*assumptions, *queries[i].terms], timeout=budget())
+         for i in need_full],
+        jobs=jobs, cache=cache)))
+
+    for i, q in enumerate(queries):
+        account(bounded[i])
+        effective = bounded[i]
+        if effective.verdict is not CheckResult.SAT:
+            effective = full[i]
+            account(effective)
+        result = effective.verdict
         if result is CheckResult.UNSAT:
             continue
         if result is CheckResult.UNKNOWN:
@@ -184,7 +215,8 @@ def check_races(info: KernelInfo, width: int = 16, *,
             outcome.reason = "budget exhausted (the paper's T.O)"
             outcome.elapsed = time.monotonic() - start
             return outcome
-        cex = extract_launch(solver.model(), geometry, inputs, input_arrays)
+        cex = extract_launch(effective.model(), geometry, inputs,
+                             input_arrays)
         cex.detail = (f"{q.kind} race on {q.array!r} between lines "
                       f"{q.line_a} and {q.line_b}")
         if validate:

@@ -16,7 +16,16 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Iterator
 
-__all__ = ["Verdict", "Counterexample", "CheckOutcome", "stopwatch"]
+__all__ = ["Verdict", "Counterexample", "CheckOutcome", "stopwatch",
+           "SOLVER_STAT_KEYS", "format_solver_stats"]
+
+#: The per-query ``Solver.stats`` counters the checkers accumulate into
+#: ``CheckOutcome.stats["solver"]`` (printed by the CLI's ``--stats``).
+SOLVER_STAT_KEYS = (
+    "conflicts", "decisions", "propagations", "restarts", "learned",
+    "clauses", "sat_vars",
+    "simplify_time", "array_time", "blast_time", "sat_time", "time",
+)
 
 
 class Verdict(Enum):
@@ -67,6 +76,18 @@ class CheckOutcome:
     complete: bool = True  # False when frames were skipped (Section IV-D)
     stats: dict[str, Any] = field(default_factory=dict)
 
+    def merge_solver_stats(self, query_stats: dict[str, Any]) -> None:
+        """Accumulate one query's ``Solver.stats`` (or a cached result's
+        stats) into ``stats["solver"]``."""
+        agg = self.stats.setdefault("solver", {})
+        agg["queries"] = agg.get("queries", 0) + 1
+        if query_stats.get("cache_hit"):
+            agg["cache_hits"] = agg.get("cache_hits", 0) + 1
+        for key in SOLVER_STAT_KEYS:
+            value = query_stats.get(key)
+            if isinstance(value, (int, float)):
+                agg[key] = agg.get(key, 0) + value
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         out = f"{self.verdict.value} ({self.elapsed:.2f}s, {self.vcs_checked} VCs)"
         if not self.complete:
@@ -76,6 +97,25 @@ class CheckOutcome:
         if self.counterexample is not None:
             out += f"\n  counterexample: {self.counterexample.describe()}"
         return out
+
+
+def format_solver_stats(outcome: "CheckOutcome") -> str:
+    """Human-readable rendering of the accumulated solver statistics."""
+    agg = outcome.stats.get("solver")
+    if not agg:
+        return "solver stats: (no queries recorded)"
+    lines = ["solver stats:"]
+    lines.append(f"  queries      {agg.get('queries', 0)}"
+                 f"  (cache hits: {agg.get('cache_hits', 0)})")
+    for key in ("conflicts", "decisions", "propagations", "restarts",
+                "learned", "clauses", "sat_vars"):
+        if key in agg:
+            lines.append(f"  {key:<12} {int(agg[key])}")
+    for key in ("simplify_time", "array_time", "blast_time", "sat_time",
+                "time"):
+        if key in agg:
+            lines.append(f"  {key:<12} {agg[key]:.3f}s")
+    return "\n".join(lines)
 
 
 @contextmanager

@@ -17,9 +17,10 @@ import sys
 from .check import (
     check_equivalence, check_functional, check_races, suite_assumptions,
 )
-from .check.result import Verdict
+from .check.result import Verdict, format_solver_stats
 from .lang import LaunchConfig, check_kernel, parse_kernel, run_kernel
 from .param.equivalence import ParamOptions
+from .smt import QueryCache, default_cache, default_jobs
 
 __all__ = ["main"]
 
@@ -99,6 +100,17 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="NAME=VAL", help="pin a scalar input")
         p.add_argument("--pair", help="use the named suite pair's "
                                       "configuration assumptions")
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="solve independent VCs on N worker processes "
+                            "(default: $PUGPARA_JOBS or 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the canonical query cache")
+        p.add_argument("--cache-dir", metavar="DIR",
+                       help="persist the query cache on disk under DIR "
+                            "(e.g. .pugpara_cache)")
+        p.add_argument("--stats", action="store_true",
+                       help="print accumulated solver statistics "
+                            "(conflicts, decisions, phase times, cache hits)")
 
     p_eq = sub.add_parser("equiv", help="check kernel equivalence")
     p_eq.add_argument("source")
@@ -140,6 +152,19 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     builder = suite_assumptions(args.pair) if args.pair else None
+    jobs = args.jobs if getattr(args, "jobs", None) else default_jobs()
+    if getattr(args, "no_cache", False):
+        cache = False
+    elif getattr(args, "cache_dir", None):
+        cache = QueryCache(disk_dir=args.cache_dir)
+    else:
+        cache = None  # the shared in-memory default
+
+    def report(outcome) -> int:
+        print(outcome)
+        if getattr(args, "stats", False):
+            print(format_solver_stats(outcome))
+        return 0 if outcome.verdict is Verdict.VERIFIED else 1
 
     if args.command == "equiv":
         _, src = _load(args.source)
@@ -149,14 +174,14 @@ def main(argv: list[str] | None = None) -> int:
                 src, tgt, method="param", width=args.width,
                 assumption_builder=builder, concretize=_concretize(args),
                 options=ParamOptions(timeout=args.timeout,
-                                     bughunt=args.bughunt))
+                                     bughunt=args.bughunt,
+                                     jobs=jobs, cache=cache))
         else:
             outcome = check_equivalence(
                 src, tgt, method="nonparam", config=_config(args),
                 scalar_values=_parse_sets(args.set) or None,
-                timeout=args.timeout)
-        print(outcome)
-        return 0 if outcome.verdict is Verdict.VERIFIED else 1
+                timeout=args.timeout, jobs=jobs, cache=cache)
+        return report(outcome)
 
     if args.command == "func":
         _, info = _load(args.kernel)
@@ -164,23 +189,22 @@ def main(argv: list[str] | None = None) -> int:
             outcome = check_functional(
                 info, method="param", width=args.width,
                 assumption_builder=builder, concretize=_concretize(args),
-                timeout=args.timeout)
+                timeout=args.timeout, jobs=jobs, cache=cache)
         else:
             outcome = check_functional(
                 info, method="nonparam", config=_config(args),
                 scalar_values=_parse_sets(args.set) or None,
-                timeout=args.timeout)
-        print(outcome)
-        return 0 if outcome.verdict is Verdict.VERIFIED else 1
+                timeout=args.timeout, jobs=jobs, cache=cache)
+        return report(outcome)
 
     if args.command == "races":
         _, info = _load(args.kernel)
         outcome = check_races(info, args.width,
                               assumption_builder=builder,
                               concretize=_concretize(args),
-                              timeout=args.timeout)
-        print(outcome)
-        return 0 if outcome.verdict is Verdict.VERIFIED else 1
+                              timeout=args.timeout,
+                              jobs=jobs, cache=cache)
+        return report(outcome)
 
     if args.command == "run":
         kernel, info = _load(args.kernel)

@@ -40,8 +40,8 @@ from dataclasses import dataclass, field
 from ..errors import AlignmentError, EncodingError
 from ..lang.typecheck import KernelInfo
 from ..smt import (
-    And, ArrayVar, BVVar, CheckResult, Eq, FALSE, Not, Solver, Term,
-    substitute,
+    And, ArrayVar, BVVar, CheckResult, Eq, FALSE, Not, Query, QueryResult,
+    Term, fresh_scope, solve_all, solve_query, substitute,
 )
 from ..check.replay import extract_launch, replay_equivalence
 from ..check.result import CheckOutcome, Counterexample, Verdict
@@ -65,6 +65,8 @@ class ParamOptions:
     validate: bool = True               # replay-confirm counterexamples
     minimize: bool = True               # prefer small counterexamples
     simplify: bool = True               # term-level simplification ablation
+    jobs: int | None = None             # VC dispatch worker processes
+    cache: object = None                # canonical query cache (False = off)
 
 
 @dataclass
@@ -81,6 +83,7 @@ class _Run:
     incomplete: list[str] = field(default_factory=list)
     unconfirmed: list[str] = field(default_factory=list)
     solver_time: float = 0.0
+    outcome: CheckOutcome | None = None
 
     def budget(self) -> float | None:
         if self.deadline is None:
@@ -90,14 +93,19 @@ class _Run:
     def expired(self) -> bool:
         return self.deadline is not None and time.monotonic() > self.deadline
 
-    def solve(self, terms: list[Term]) -> tuple[CheckResult, Solver]:
-        solver = Solver(timeout=self.budget(),
-                        do_simplify=self.options.simplify)
-        solver.add(*terms)
-        result = solver.check()
-        self.solver_time += float(solver.stats.get("time", 0.0))
+    def account(self, response: QueryResult) -> None:
+        self.solver_time += response.solver_time
         self.vcs += 1
-        return result, solver
+        if self.outcome is not None:
+            self.outcome.merge_solver_stats(response.stats)
+
+    def solve(self, terms: list[Term]) -> tuple[CheckResult, QueryResult]:
+        response = solve_query(
+            Query(terms, timeout=self.budget(),
+                  do_simplify=self.options.simplify),
+            cache=self.options.cache)
+        self.account(response)
+        return response.verdict, response
 
     def prove(self, premises: list[Term], obligations: list[Term]) -> bool:
         """premises |= /\\ obligations ?"""
@@ -174,8 +182,9 @@ def check_equivalence_param(src_info: KernelInfo, tgt_info: KernelInfo,
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     try:
-        result = _check(src_info, tgt_info, width, assumption_builder,
-                        concretize, options, start, outcome)
+        with fresh_scope():
+            result = _check(src_info, tgt_info, width, assumption_builder,
+                            concretize, options, start, outcome)
         outcome.verdict = result
     except _Inequivalent as bug:
         outcome.verdict = Verdict.BUG
@@ -221,7 +230,8 @@ def _check(src_info: KernelInfo, tgt_info: KernelInfo, width: int,
 
     deadline = start + options.timeout if options.timeout else None
     run = _Run(geometry=geometry, assumptions=assumptions, options=options,
-               deadline=deadline, inputs=inputs, input_arrays=input_arrays)
+               deadline=deadline, inputs=inputs, input_arrays=input_arrays,
+               outcome=outcome)
 
     src_items = _split_alternating(src)
     tgt_items = _split_alternating(tgt)
@@ -290,12 +300,12 @@ class _GroupChecker:
 
     # ------------------------------------------------------------ utilities
 
-    def _candidate(self, solver: Solver, detail: str) -> bool:
+    def _candidate(self, response: QueryResult, detail: str) -> bool:
         """A VC was refuted: confirm the model by replay (raises
         :class:`_Inequivalent`) or record the unconfirmed candidate and
         return False so the caller can continue with other VCs."""
         run = self.run
-        model = solver.model()
+        model = response.model()
         cex = extract_launch(model, run.geometry, run.inputs,
                              run.input_arrays)
         cex.detail = detail
@@ -313,25 +323,61 @@ class _GroupChecker:
 
     def _refute(self, premises: list[Term], goal: Term, detail: str) -> None:
         """Check the VC ``premises => goal``; raise on bug/timeout."""
+        self._refute_batch([(premises, goal, detail)])
+
+    def _refute_batch(
+            self, pending: list[tuple[list[Term], Term, str]]) -> None:
+        """Check a batch of independent VCs ``premises => goal``.
+
+        The whole batch is fanned out through the dispatcher (minimized
+        small-counterexample round first, then the unbounded round for VCs
+        the first round left open), but results are *consumed* in
+        generation order, so the first confirmed bug — and therefore the
+        verdict — matches a serial run exactly.
+        """
         run = self.run
-        terms = [*run.assumptions, *premises, Not(goal)]
+        if not pending:
+            return
+        batches = [[*run.assumptions, *premises, Not(goal)]
+                   for premises, goal, _ in pending]
+
+        def dispatch(term_lists: list[list[Term]]) -> list[QueryResult]:
+            responses = solve_all(
+                [Query(terms, timeout=run.budget(),
+                       do_simplify=run.options.simplify)
+                 for terms in term_lists],
+                jobs=run.options.jobs, cache=run.options.cache)
+            for response in responses:
+                run.account(response)
+            return responses
+
+        minimized: list[QueryResult] | None = None
         if run.options.minimize:
-            # Try to find a *small* counterexample first: bound dimensions.
+            # Try to find *small* counterexamples first: bound dimensions.
             small = min(4, run.geometry.bdim["x"].sort.mask)
             bounds = [v.ule(small)
                       for v in (*run.geometry.bdim.values(),
                                 *run.geometry.gdim.values())]
-            result, solver = run.solve(terms + bounds)
+            minimized = dispatch([terms + bounds for terms in batches])
+
+        open_indices = [i for i in range(len(pending))
+                        if minimized is None or
+                        minimized[i].verdict is not CheckResult.SAT]
+        full = dict(zip(open_indices,
+                        dispatch([batches[i] for i in open_indices])))
+
+        for i, (_, _, detail) in enumerate(pending):
+            if minimized is not None and \
+                    minimized[i].verdict is CheckResult.SAT:
+                self._candidate(minimized[i], detail)
+                continue
+            result = full[i].verdict
+            if result is CheckResult.UNSAT:
+                continue
             if result is CheckResult.SAT:
-                self._candidate(solver, detail)
-                return
-        result, solver = run.solve(terms)
-        if result is CheckResult.UNSAT:
-            return
-        if result is CheckResult.SAT:
-            self._candidate(solver, detail)
-            return
-        raise _Timeout()
+                self._candidate(full[i], detail)
+                continue
+            raise _Timeout()
 
     # ----------------------------------------------------------- group check
 
@@ -394,6 +440,10 @@ class _GroupChecker:
         cas_t = ctx_t.writers_of(array, big)
 
         # ---- match VCs: same cell -> same value --------------------------
+        # Generation stays serial (value resolution may itself prove
+        # coverage lemmas); the generated VCs are independent and are
+        # refuted as one batch per array.
+        pending: list[tuple[list[Term], Term, str]] = []
         for ca_s in cas_s:
             ths = ThreadInstance.fresh(run.geometry, "s")
             inst_s = instantiate(ca_s, self.src, ths)
@@ -411,12 +461,13 @@ class _GroupChecker:
                                         tht, premises)
                 for cs in cases_s:
                     for ct in cases_t:
-                        self._refute(
+                        pending.append((
                             premises + cs.constraints + ct.constraints,
                             Eq(cs.value, ct.value),
-                            detail=f"{array}: writes at line {ca_s.line} "
-                                   f"(source) vs line {ca_t.line} (target) "
-                                   f"disagree")
+                            f"{array}: writes at line {ca_s.line} "
+                            f"(source) vs line {ca_t.line} (target) "
+                            f"disagree"))
+        self._refute_batch(pending)
 
         # ---- coverage VCs: same write sets -------------------------------
         if run.options.bughunt:

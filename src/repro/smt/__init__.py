@@ -23,14 +23,19 @@ from .terms import (
     BVConst, BVLshr, BVMul, BVNeg, BVNot, BVOr, BVShl, BVSub, BVUDiv, BVURem,
     BVVar, BVXor, Concat, Distinct, Eq, Extract, Iff, Implies, Ite, Kind, Ne,
     Not, Or, Select, SGe, SGt, SignExt, SLe, SLt, Store, Term, UGe, UGt, ULe,
-    ULt, Var, Xor, ZeroExt, collect, fresh_name, fresh_var, iter_dag,
-    term_size,
+    ULt, Var, Xor, ZeroExt, collect, fresh_name, fresh_scope, fresh_var,
+    iter_dag, term_size,
 )
 from .simplify import simplify, simplify_all
 from .substitute import evaluate, substitute
 from .printer import script_smtlib, to_smtlib, to_str
 from .model import Model
 from .solver import CheckResult, Solver, check_valid, is_satisfiable
+from .qcache import QueryCache, canonical_key, canonicalize
+from .dispatch import (
+    Query, QueryResult, default_cache, default_jobs, resolve_cache,
+    solve_all, solve_query,
+)
 
 __all__ = [
     # sorts
@@ -42,11 +47,15 @@ __all__ = [
     "Distinct", "Eq", "Extract", "Iff", "Implies", "Ite", "Kind", "Ne", "Not",
     "Or", "Select", "SGe", "SGt", "SignExt", "SLe", "SLt", "Store", "Term",
     "UGe", "UGt", "ULe", "ULt", "Var", "Xor", "ZeroExt", "collect",
-    "fresh_name", "fresh_var", "iter_dag", "term_size",
+    "fresh_name", "fresh_scope", "fresh_var", "iter_dag", "term_size",
     # transforms
     "simplify", "simplify_all", "substitute", "evaluate",
     # printing
     "script_smtlib", "to_smtlib", "to_str",
     # solving
     "CheckResult", "Model", "Solver", "check_valid", "is_satisfiable",
+    # caching + dispatch
+    "QueryCache", "canonical_key", "canonicalize",
+    "Query", "QueryResult", "default_cache", "default_jobs",
+    "resolve_cache", "solve_all", "solve_query",
 ]

@@ -1,0 +1,309 @@
+"""Parallel dispatch of independent SMT queries.
+
+Every verification condition the checkers emit is an independent ``check()``
+— there is no shared solver state to protect (the facade is deliberately
+non-incremental).  This module turns that independence into throughput:
+
+* :func:`solve_query` — solve one query through the canonical cache;
+* :func:`solve_all` — solve a batch: dedup structurally identical queries
+  (canonical key), satisfy what it can from the cache, and fan the rest out
+  to ``jobs`` worker processes.
+
+Workers receive queries as flat term blobs (:mod:`repro.smt.qcache`'s
+encoding — hash-consed terms do not pickle) and return the verdict, a
+name-keyed model projection, and the per-query ``Solver.stats``, which the
+parent merges back into each :class:`QueryResult`.
+
+Per-query wall-clock budgets ride inside the worker's ``Solver`` and surface
+as ``UNKNOWN`` on expiry — the paper's ``T.O`` — never as a wrong verdict.
+
+Determinism: the CDCL core is deterministic, so a batch solved at ``jobs=8``
+returns bit-identical verdicts (and models) to a serial run; only wall-clock
+changes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from .model import Model
+from .qcache import (
+    QueryCache, canonicalize, decode_terms, encode_terms,
+    model_from_canonical, model_to_canonical,
+)
+from .simplify import simplify_all
+from .solver import CheckResult, Solver
+from .terms import Term
+from ..errors import SolverError
+
+__all__ = ["Query", "QueryResult", "solve_query", "solve_all",
+           "default_cache", "default_jobs", "resolve_cache"]
+
+
+@dataclass
+class Query:
+    """One self-contained satisfiability question."""
+    assertions: Sequence[Term]
+    timeout: float | None = None
+    conflict_budget: int | None = None
+    do_simplify: bool = True
+    validate_models: bool = False
+    tag: Any = None  # caller correlation handle, passed through untouched
+
+
+@dataclass
+class QueryResult:
+    """Verdict, stats, and (on SAT) the satisfying assignment."""
+    verdict: CheckResult
+    stats: dict[str, Any] = field(default_factory=dict)
+    cached: bool = False
+    tag: Any = None
+    _model: Model | None = None
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise SolverError("model() requires a SAT result")
+        return self._model
+
+    @property
+    def solver_time(self) -> float:
+        return float(self.stats.get("time", 0.0))
+
+
+# ------------------------------------------------------------- defaults
+
+_default_cache: QueryCache | None = None
+
+
+def default_cache() -> QueryCache:
+    """The process-wide cache (created on first use).
+
+    ``PUGPARA_CACHE_DIR`` enables its on-disk layer.
+    """
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = QueryCache(
+            maxsize=int(os.environ.get("PUGPARA_CACHE_SIZE", "4096")),
+            disk_dir=os.environ.get("PUGPARA_CACHE_DIR") or None)
+    return _default_cache
+
+
+def resolve_cache(cache: QueryCache | bool | None) -> QueryCache | None:
+    """Map the checkers' ``cache`` argument onto an actual cache.
+
+    ``None`` -> the shared default cache, ``False`` -> caching off, a
+    :class:`QueryCache` -> itself.
+    """
+    if cache is None:
+        return default_cache()
+    if cache is False:
+        return None
+    assert isinstance(cache, QueryCache)
+    return cache
+
+
+def default_jobs() -> int:
+    """Worker count from ``PUGPARA_JOBS`` (default 1 = in-process)."""
+    try:
+        return max(1, int(os.environ.get("PUGPARA_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+# ------------------------------------------------------------ internals
+
+
+@dataclass
+class _Prepared:
+    index: int
+    query: Query
+    work: list[Term]          # simplified assertion set
+    key: str
+    varmap: dict[Term, int]
+
+
+def _prepare(index: int, query: Query) -> _Prepared:
+    work = list(query.assertions)
+    if query.do_simplify:
+        work = simplify_all(work)
+    key, varmap = canonicalize(work)
+    return _Prepared(index=index, query=query, work=work, key=key,
+                     varmap=varmap)
+
+
+def _solve_local(query: Query) -> tuple[CheckResult, Model | None, dict]:
+    solver = Solver(timeout=query.timeout,
+                    conflict_budget=query.conflict_budget,
+                    do_simplify=query.do_simplify,
+                    validate_models=query.validate_models)
+    solver.add(*query.assertions)
+    verdict = solver.check()
+    model = solver.model() if verdict is CheckResult.SAT else None
+    return verdict, model, dict(solver.stats)
+
+
+def _worker_solve(payload: tuple) -> tuple[str, dict | None, dict]:
+    """Executed in a worker process: decode, solve, project the model."""
+    blob, timeout, conflict_budget, do_simplify, validate_models = payload
+    terms = decode_terms(blob)
+    solver = Solver(timeout=timeout, conflict_budget=conflict_budget,
+                    do_simplify=do_simplify, validate_models=validate_models)
+    solver.add(*terms)
+    verdict = solver.check()
+    model_blob: dict | None = None
+    if verdict is CheckResult.SAT:
+        model = solver.model()
+        scalars: dict[str, int | bool] = {}
+        arrays: dict[str, dict[int, int]] = {}
+        for var in model.variables():
+            if not var.is_var():
+                continue  # pragma: no cover - defensive
+            value = model[var]
+            if isinstance(value, dict):
+                arrays[var.name] = {int(k): int(v) for k, v in value.items()}
+            else:
+                scalars[var.name] = value  # type: ignore[assignment]
+        model_blob = {"scalars": scalars, "arrays": arrays}
+    return verdict.value, model_blob, dict(solver.stats)
+
+
+def _model_from_names(blob: dict | None,
+                      varmap: dict[Term, int]) -> Model | None:
+    """Rebind a worker's name-keyed model to this query's variable terms."""
+    if blob is None:
+        return None
+    by_name = {var.name: var for var in varmap}
+    scalars: dict[Term, object] = {}
+    arrays: dict[Term, dict[int, int]] = {}
+    for name, value in blob.get("scalars", {}).items():
+        var = by_name.get(name)
+        if var is not None:
+            scalars[var] = value
+    for name, content in blob.get("arrays", {}).items():
+        var = by_name.get(name)
+        if var is not None:
+            arrays[var] = dict(content)
+    return Model(scalars, arrays)
+
+
+def _cache_entry(verdict: CheckResult, model: Model | None,
+                 varmap: dict[Term, int], stats: dict) -> dict:
+    return {
+        "verdict": verdict.value,
+        "model": (model_to_canonical(model, varmap)
+                  if model is not None else None),
+        "stats": {k: v for k, v in stats.items()
+                  if isinstance(v, (int, float))},
+    }
+
+
+def _result_from_entry(entry: dict, varmap: dict[Term, int],
+                       tag: Any) -> QueryResult:
+    verdict = CheckResult(entry["verdict"])
+    model = None
+    if verdict is CheckResult.SAT and entry.get("model") is not None:
+        model = model_from_canonical(entry["model"], varmap)
+    stats = dict(entry.get("stats") or {})
+    stats["cache_hit"] = True
+    stats["time"] = 0.0  # a hit costs no solver time *now*
+    return QueryResult(verdict=verdict, stats=stats, cached=True, tag=tag,
+                       _model=model)
+
+
+# -------------------------------------------------------------- public
+
+
+def solve_query(query: Query,
+                cache: QueryCache | bool | None = None) -> QueryResult:
+    """Solve one query in-process, through the canonical cache."""
+    return solve_all([query], jobs=1, cache=cache)[0]
+
+
+def solve_all(queries: Sequence[Query], *, jobs: int | None = None,
+              cache: QueryCache | bool | None = None) -> list[QueryResult]:
+    """Solve every query; results come back in input order.
+
+    ``jobs > 1`` fans cache misses out to that many worker processes.
+    Structurally identical queries (canonical-key equal) are solved once per
+    batch; the followers receive the leader's verdict and a model rebound to
+    their own variables.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    cache_obj = resolve_cache(cache)
+    results: list[QueryResult | None] = [None] * len(queries)
+
+    # Phase 1: canonicalize, consult the cache, group duplicates.
+    groups: dict[str, list[_Prepared]] = {}
+    order: list[str] = []
+    for i, query in enumerate(queries):
+        prep = _prepare(i, query)
+        entry = cache_obj.lookup(prep.key) if cache_obj is not None else None
+        if entry is not None and entry["verdict"] != CheckResult.UNKNOWN.value:
+            results[i] = _result_from_entry(entry, prep.varmap, query.tag)
+            continue
+        if prep.key not in groups:
+            groups[prep.key] = []
+            order.append(prep.key)
+        groups[prep.key].append(prep)
+
+    leaders = [groups[key][0] for key in order]
+
+    # Phase 2: solve each group's leader (in-process or across workers).
+    entries: dict[str, dict] = {}
+    leader_models: dict[str, Model | None] = {}
+    if jobs > 1 and len(leaders) > 1:
+        payloads = [(encode_terms(p.work), p.query.timeout,
+                     p.query.conflict_budget, p.query.do_simplify,
+                     p.query.validate_models) for p in leaders]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(leaders))) as pool:
+            outcomes = list(pool.map(_worker_solve, payloads))
+        for prep, (verdict_str, model_blob, stats) in zip(leaders, outcomes):
+            verdict = CheckResult(verdict_str)
+            model = _model_from_names(model_blob, prep.varmap)
+            entries[prep.key] = _cache_entry(verdict, model, prep.varmap,
+                                             stats)
+            entries[prep.key]["stats"] = stats  # keep the full stat set
+            leader_models[prep.key] = model
+    else:
+        for prep in leaders:
+            verdict, model, stats = _solve_local(prep.query)
+            entry = _cache_entry(verdict, model, prep.varmap, stats)
+            entry["stats"] = stats
+            entries[prep.key] = entry
+            leader_models[prep.key] = model
+
+    # Phase 3: populate the cache and fan results back out.
+    for key in order:
+        entry = entries[key]
+        verdict = CheckResult(entry["verdict"])
+        if cache_obj is not None and verdict is not CheckResult.UNKNOWN:
+            # UNKNOWN is budget-dependent, never cacheable.
+            cache_obj.store(key, _cache_entry(
+                verdict, leader_models[key],
+                groups[key][0].varmap, entry["stats"]))
+        for rank, prep in enumerate(groups[key]):
+            if rank == 0:
+                results[prep.index] = QueryResult(
+                    verdict=verdict, stats=dict(entry["stats"]),
+                    cached=False, tag=prep.query.tag,
+                    _model=leader_models[key])
+            else:
+                # A structural duplicate within the batch: translate the
+                # leader's model through the canonical numbering.
+                model = None
+                if verdict is CheckResult.SAT and \
+                        leader_models[key] is not None:
+                    model = model_from_canonical(
+                        model_to_canonical(leader_models[key],
+                                           groups[key][0].varmap),
+                        prep.varmap)
+                stats = {"cache_hit": True, "time": 0.0}
+                results[prep.index] = QueryResult(
+                    verdict=verdict, stats=stats, cached=True,
+                    tag=prep.query.tag, _model=model)
+
+    return [r for r in results if r is not None]

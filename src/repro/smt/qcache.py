@@ -1,0 +1,327 @@
+"""Canonical query cache for the SMT pipeline.
+
+A verification run re-asks many structurally identical questions: mutation
+suites re-check the unchanged parts of a kernel, bench tables re-run whole
+suites, and the race checker's symmetric interval pairs collapse onto the
+same formula.  Every one of those queries rebuilds the full
+simplify -> array-elim -> bitblast -> CDCL pipeline from scratch, so caching
+*verdicts* (plus the satisfying assignment) amortizes the entire pipeline.
+
+The cache key is a **variable-renaming-invariant structural hash** of the
+simplified assertion set: a single post-order walk over the hash-consed term
+DAG assigns every distinct node a small integer, numbering variables in
+de Bruijn style by first encounter instead of by name.  Two queries that
+differ only by a consistent renaming of their variables (``s!3.tidx`` vs
+``s!41.tidx`` — exactly what repeated checker runs produce) hash to the same
+key; queries differing in one constant, one operator, or any bit-width do
+not.
+
+Cached models are stored against the *canonical* variable numbering, so a
+hit under a renamed query can be translated back into that query's own
+variables.
+
+Layers:
+
+* an in-memory LRU (cheap, per-process);
+* an optional on-disk layer (JSON files under ``.pugpara_cache/``), each
+  entry carrying a format tag so stale caches from older encodings are
+  rejected rather than trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Any, Iterable, Mapping, Sequence
+
+from .model import Model
+from .sorts import ARRAY, BOOL, BV, ArraySort, BitVecSort, Sort
+from .terms import Kind, Term
+
+__all__ = [
+    "FORMAT_TAG", "canonicalize", "canonical_key", "encode_terms",
+    "decode_terms", "model_to_canonical", "model_from_canonical",
+    "QueryCache",
+]
+
+#: Bumped whenever the canonical-key traversal, the term encoding, or the
+#: entry layout changes; on-disk entries with a different tag are ignored.
+FORMAT_TAG = "pugpara-qcache-v1"
+
+
+# --------------------------------------------------------------- sorts
+
+
+def _sort_sig(sort: Sort) -> str:
+    if sort is BOOL:
+        return "b"
+    if isinstance(sort, BitVecSort):
+        return f"v{sort.width}"
+    if isinstance(sort, ArraySort):
+        return f"a{sort.index_sort.width}.{sort.elem_sort.width}"
+    raise TypeError(f"unsupported sort {sort!r}")  # pragma: no cover
+
+
+def _sort_from_sig(sig: str) -> Sort:
+    if sig == "b":
+        return BOOL
+    if sig.startswith("v"):
+        return BV(int(sig[1:]))
+    if sig.startswith("a"):
+        iw, ew = sig[1:].split(".")
+        return ARRAY(int(iw), int(ew))
+    raise ValueError(f"bad sort signature {sig!r}")  # pragma: no cover
+
+
+# --------------------------------------------------- canonical hashing
+
+
+def _walk(roots: Sequence[Term]):
+    """Post-order over the distinct DAG nodes of ``roots`` (iterative)."""
+    seen: set[Term] = set()
+    stack: list[tuple[Term, bool]] = [(r, False) for r in reversed(roots)]
+    while stack:
+        term, expanded = stack.pop()
+        if term in seen:
+            continue
+        if expanded:
+            seen.add(term)
+            yield term
+        else:
+            stack.append((term, True))
+            for child in reversed(term.args):
+                if child not in seen:
+                    stack.append((child, False))
+
+
+def canonicalize(assertions: Sequence[Term]) -> tuple[str, dict[Term, int]]:
+    """Canonical key plus the query's variable numbering.
+
+    Returns ``(key, varmap)`` where ``key`` is a hex digest invariant under
+    consistent variable renaming, and ``varmap`` maps every variable term of
+    the query to its canonical (de Bruijn-style) ordinal — the numbering the
+    cache stores models against.
+    """
+    ids: dict[Term, int] = {}
+    varmap: dict[Term, int] = {}
+    hasher = hashlib.sha256()
+    hasher.update(FORMAT_TAG.encode())
+    for term in _walk(assertions):
+        nid = len(ids)
+        ids[term] = nid
+        if term.kind == Kind.VAR:
+            payload_sig = f"V{varmap.setdefault(term, len(varmap))}"
+        else:
+            payload_sig = repr(term.payload)
+        children = ",".join(str(ids[a]) for a in term.args)
+        hasher.update(
+            f"{nid}|{int(term.kind)}|{_sort_sig(term.sort)}|"
+            f"{payload_sig}|{children};".encode())
+    hasher.update(("roots:" + ",".join(str(ids[t]) for t in assertions))
+                  .encode())
+    return hasher.hexdigest(), varmap
+
+
+def canonical_key(assertions: Sequence[Term]) -> str:
+    """Just the key (see :func:`canonicalize`)."""
+    return canonicalize(assertions)[0]
+
+
+# --------------------------------------------------- term serialization
+
+
+def encode_terms(terms: Sequence[Term]) -> dict:
+    """Flatten a term DAG into a picklable/JSON-able blob.
+
+    The blob is a post-order node list; each node is
+    ``[kind, sort_sig, payload, [child ids]]``.  Sharing is preserved, so
+    decoding re-interns to an isomorphic DAG.
+    """
+    ids: dict[Term, int] = {}
+    nodes: list[list] = []
+    for term in _walk(terms):
+        payload = term.payload
+        if isinstance(payload, tuple):  # EXTRACT's (hi, lo)
+            payload = list(payload)
+        nodes.append([int(term.kind), _sort_sig(term.sort), payload,
+                      [ids[a] for a in term.args]])
+        ids[term] = len(ids)
+    return {"nodes": nodes, "roots": [ids[t] for t in terms]}
+
+
+def decode_terms(blob: Mapping[str, Any]) -> list[Term]:
+    """Rebuild the terms of an :func:`encode_terms` blob (re-interned)."""
+    built: list[Term] = []
+    for kind, sig, payload, children in blob["nodes"]:
+        k = Kind(kind)
+        if k == Kind.EXTRACT:
+            payload = tuple(payload)
+        built.append(Term(k, _sort_from_sig(sig),
+                          tuple(built[c] for c in children), payload))
+    return [built[r] for r in blob["roots"]]
+
+
+# ------------------------------------------------- model serialization
+
+
+def model_to_canonical(model: Model,
+                       varmap: Mapping[Term, int]) -> dict:
+    """Project a model onto the query's canonical variable numbering.
+
+    Internal solver variables (Ackermann element atoms …) that do not occur
+    in the original assertion DAG are dropped — they carry no information a
+    renamed query could use.
+    """
+    scalars: dict[int, int | bool] = {}
+    arrays: dict[int, dict[int, int]] = {}
+    for var in model.variables():
+        if var not in varmap:
+            continue
+        value = model[var]
+        if isinstance(value, dict):
+            arrays[varmap[var]] = {int(k): int(v) for k, v in value.items()}
+        elif isinstance(value, bool):
+            scalars[varmap[var]] = value
+        else:
+            scalars[varmap[var]] = int(value)  # type: ignore[arg-type]
+    return {"scalars": scalars, "arrays": arrays}
+
+
+def model_from_canonical(data: Mapping[str, Any],
+                         varmap: Mapping[Term, int]) -> Model:
+    """Rebuild a model for *this* query from a canonical projection."""
+    inverse = {ordinal: var for var, ordinal in varmap.items()}
+    scalars: dict[Term, object] = {}
+    arrays: dict[Term, dict[int, int]] = {}
+    for ordinal, value in data.get("scalars", {}).items():
+        var = inverse.get(int(ordinal))
+        if var is None:
+            continue
+        if var.sort is BOOL:
+            scalars[var] = bool(value)
+        else:
+            scalars[var] = int(value)
+    for ordinal, content in data.get("arrays", {}).items():
+        var = inverse.get(int(ordinal))
+        if var is None:
+            continue
+        arrays[var] = {int(k): int(v) for k, v in content.items()}
+    return Model(scalars, arrays)
+
+
+# --------------------------------------------------------------- cache
+
+
+class QueryCache:
+    """Verdict + model cache keyed by :func:`canonicalize` keys.
+
+    Parameters
+    ----------
+    maxsize:
+        Bound on the in-memory LRU (entries, not bytes).
+    disk_dir:
+        When given, entries are also persisted as one JSON file per key under
+        this directory, so a fresh process (another mutation run, a warm
+        bench re-run) starts warm.  Entries are versioned by ``format_tag``;
+        a mismatching tag is treated as a miss.
+    """
+
+    def __init__(self, maxsize: int = 4096,
+                 disk_dir: str | os.PathLike | None = None,
+                 format_tag: str = FORMAT_TAG) -> None:
+        self.maxsize = maxsize
+        self.disk_dir = os.fspath(disk_dir) if disk_dir is not None else None
+        self.format_tag = format_tag
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        self.stats = {"hits": 0, "misses": 0, "disk_hits": 0, "stores": 0}
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- lookup/store -------------------------------------------------
+
+    def lookup(self, key: str) -> dict | None:
+        """The stored entry for ``key`` or None.
+
+        An entry is ``{"verdict": str, "model": canonical-model | None,
+        "stats": {...}}``.
+        """
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            self.stats["hits"] += 1
+            return entry
+        entry = self._disk_lookup(key)
+        if entry is not None:
+            self.stats["hits"] += 1
+            self.stats["disk_hits"] += 1
+            self._remember(key, entry)
+            return entry
+        self.stats["misses"] += 1
+        return None
+
+    def store(self, key: str, entry: dict) -> None:
+        self.stats["stores"] += 1
+        self._remember(key, entry)
+        self._disk_store(key, entry)
+
+    def _remember(self, key: str, entry: dict) -> None:
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.maxsize:
+            self._memory.popitem(last=False)
+
+    # -- disk layer ---------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        assert self.disk_dir is not None
+        return os.path.join(self.disk_dir, f"{key}.json")
+
+    def _disk_lookup(self, key: str) -> dict | None:
+        if self.disk_dir is None:
+            return None
+        try:
+            with open(self._path(key), encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if payload.get("tag") != self.format_tag:
+            return None  # stale format: never trust it
+        entry = payload.get("entry")
+        if not isinstance(entry, dict) or "verdict" not in entry:
+            return None
+        model = entry.get("model")
+        if model is not None:
+            # JSON turned the int keys into strings; undo that.
+            entry["model"] = {
+                "scalars": {int(k): v
+                            for k, v in model.get("scalars", {}).items()},
+                "arrays": {int(k): {int(i): int(x) for i, x in c.items()}
+                           for k, c in model.get("arrays", {}).items()},
+            }
+        return entry
+
+    def _disk_store(self, key: str, entry: dict) -> None:
+        if self.disk_dir is None:
+            return
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump({"tag": self.format_tag, "entry": entry}, fh)
+            os.replace(tmp, self._path(key))
+        except OSError:  # cache is best-effort; never fail the query
+            pass
+
+    def clear(self, *, disk: bool = False) -> None:
+        self._memory.clear()
+        if disk and self.disk_dir is not None and os.path.isdir(self.disk_dir):
+            for name in os.listdir(self.disk_dir):
+                if name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(self.disk_dir, name))
+                    except OSError:
+                        pass

@@ -78,12 +78,14 @@ class Solver:
     def check(self) -> CheckResult:
         """Decide satisfiability of the conjunction of all assertions."""
         self._model = None
+        self.stats = {}
         start = time.monotonic()
         deadline = start + self.timeout if self.timeout is not None else None
 
         work = list(self.assertions)
         if self.do_simplify:
             work = simplify_all(work)
+        self.stats["simplify_time"] = time.monotonic() - start
         work = [t for t in work if t is not TRUE]
         if any(t is FALSE for t in work):
             self._finish(start, conflicts=0)
@@ -93,6 +95,7 @@ class Solver:
             self._finish(start, conflicts=0)
             return CheckResult.SAT
 
+        elim_start = time.monotonic()
         flat, info = eliminate_arrays(work)
         if self.do_simplify:
             flat = simplify_all(flat)
@@ -100,19 +103,26 @@ class Solver:
             if any(t is FALSE for t in flat):
                 self._finish(start, conflicts=0)
                 return CheckResult.UNSAT
+        self.stats["array_time"] = time.monotonic() - elim_start
 
+        blast_start = time.monotonic()
         bb = BitBlaster()
         for t in flat:
             bb.assert_term(t)
         sat = bb.gb.sat
+        self.stats["blast_time"] = time.monotonic() - blast_start
         self.stats["clauses"] = len(sat.clauses)
         self.stats["sat_vars"] = sat.num_vars
         if not sat.ok:
             self._finish(start, conflicts=sat.stats["conflicts"])
+            self._merge_sat_stats(sat)
             return CheckResult.UNSAT
 
+        sat_start = time.monotonic()
         result = sat.solve(deadline=deadline, conflict_budget=self.conflict_budget)
+        self.stats["sat_time"] = time.monotonic() - sat_start
         self._finish(start, conflicts=sat.stats["conflicts"])
+        self._merge_sat_stats(sat)
         if result.value == "unsat":
             return CheckResult.UNSAT
         if result.value == "unknown":
@@ -149,6 +159,10 @@ class Solver:
     def _finish(self, start: float, conflicts: int) -> None:
         self.stats["time"] = time.monotonic() - start
         self.stats["conflicts"] = conflicts
+
+    def _merge_sat_stats(self, sat) -> None:
+        for key in ("decisions", "propagations", "restarts", "learned"):
+            self.stats[key] = sat.stats.get(key, 0)
 
     def model(self) -> Model:
         if self._model is None:

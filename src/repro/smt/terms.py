@@ -35,7 +35,8 @@ __all__ = [
     "ULt", "ULe", "UGt", "UGe", "SLt", "SLe", "SGt", "SGe",
     "Concat", "Extract", "ZeroExt", "SignExt",
     "Select", "Store",
-    "fresh_var", "fresh_name", "iter_dag", "term_size", "collect",
+    "fresh_var", "fresh_name", "fresh_scope", "iter_dag", "term_size",
+    "collect",
 ]
 
 
@@ -277,8 +278,34 @@ _fresh_counter = itertools.count()
 
 
 def fresh_name(hint: str = "k") -> str:
-    """A globally unique variable name with the given prefix."""
+    """A unique-within-scope variable name with the given prefix."""
     return f"{hint}!{next(_fresh_counter)}"
+
+
+class fresh_scope:
+    """Reset the fresh-name counter for the duration of a ``with`` block.
+
+    Each top-level check enters a scope, so two structurally identical
+    verification runs generate *identical* fresh names — hence identical
+    (interned) terms — and their queries collide in the canonical query
+    cache instead of merely being alpha-equivalent.  Scopes restore the
+    enclosing counter on exit, so nested or subsequent scopes never clash
+    with names minted outside them.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self.start = start
+        self._saved = None
+
+    def __enter__(self) -> "fresh_scope":
+        global _fresh_counter
+        self._saved = _fresh_counter
+        _fresh_counter = itertools.count(self.start)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _fresh_counter
+        _fresh_counter = self._saved
 
 
 def fresh_var(hint: str, sort: Sort) -> Term:

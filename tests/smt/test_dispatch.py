@@ -1,0 +1,152 @@
+"""Parallel dispatch: verdict identity, dedup, caching, and budgets."""
+
+from repro.smt import (
+    BVConst, BVVar, CheckResult, Eq, Query, UGt, ULt,
+    fresh_scope, solve_all, solve_query,
+)
+from repro.smt.qcache import QueryCache, canonical_key
+
+
+def _sat_query(prefix: str, lo: int, hi: int, width: int = 8) -> Query:
+    x = BVVar(f"{prefix}.x", width)
+    return Query([UGt(x, BVConst(lo, width)), ULt(x, BVConst(hi, width))])
+
+
+def _unsat_query(prefix: str, width: int = 8) -> Query:
+    x = BVVar(f"{prefix}.x", width)
+    return Query([ULt(x, BVConst(3, width)), UGt(x, BVConst(5, width))])
+
+
+def _factoring_query(timeout, width: int = 16) -> Query:
+    """``x * y == 143  /\\  x > 1  /\\  y > 1`` — SAT (11 * 13) but needs
+    real CDCL search through a blasted multiplier, so a sub-millisecond
+    budget expires mid-search."""
+    x = BVVar("fq.x", width)
+    y = BVVar("fq.y", width)
+    one = BVConst(1, width)
+    return Query([Eq(x * y, BVConst(143, width)), UGt(x, one), UGt(y, one)],
+                 timeout=timeout)
+
+
+class TestSolveAll:
+    def test_results_in_input_order(self):
+        queries = [_sat_query("ord.a", 2, 9), _unsat_query("ord.b"),
+                   _sat_query("ord.c", 100, 110)]
+        results = solve_all(queries, jobs=1, cache=False)
+        assert [r.verdict for r in results] == \
+            [CheckResult.SAT, CheckResult.UNSAT, CheckResult.SAT]
+
+    def test_parallel_matches_serial(self):
+        def batch(prefix):
+            return [_sat_query(f"{prefix}.a", 2, 9),
+                    _unsat_query(f"{prefix}.b"),
+                    _sat_query(f"{prefix}.c", 100, 110),
+                    _unsat_query(f"{prefix}.d")]
+        serial = solve_all(batch("ser"), jobs=1, cache=False)
+        parallel = solve_all(batch("par"), jobs=2, cache=False)
+        assert [r.verdict for r in serial] == [r.verdict for r in parallel]
+        # Deterministic CDCL: the models agree, not just the verdicts.
+        for s, p, q in zip(serial, parallel, batch("chk")):
+            if s.verdict is CheckResult.SAT:
+                sx = next(iter(s.model().variables()))
+                px = next(iter(p.model().variables()))
+                assert s.model()[sx] == p.model()[px]
+
+    def test_parallel_models_satisfy_their_queries(self):
+        queries = [_sat_query(f"pm.{i}", 10 * i + 1, 10 * i + 9)
+                   for i in range(4)]
+        for res, query in zip(solve_all(queries, jobs=2, cache=False),
+                              queries):
+            assert res.verdict is CheckResult.SAT
+            model = res.model()
+            for term in query.assertions:
+                assert model.eval(term) is True
+
+    def test_in_batch_dedup(self):
+        # Alpha-equivalent queries: one leader solve, follower rides along
+        # with a model rebound to its own variables.
+        q1 = _sat_query("dup.a", 2, 9)
+        q2 = _sat_query("dup.b", 2, 9)
+        assert canonical_key(list(q1.assertions)) == \
+            canonical_key(list(q2.assertions))
+        leader, follower = solve_all([q1, q2], jobs=1, cache=False)
+        assert leader.verdict is follower.verdict is CheckResult.SAT
+        assert not leader.cached and follower.cached
+        assert follower.stats.get("cache_hit") is True
+        model = follower.model()
+        for term in q2.assertions:
+            assert model.eval(term) is True
+
+    def test_tags_pass_through(self):
+        queries = [Query(_sat_query("tag.a", 2, 9).assertions, tag="first"),
+                   Query(_unsat_query("tag.b").assertions, tag=("vc", 2))]
+        tags = [r.tag for r in solve_all(queries, jobs=1, cache=False)]
+        assert tags == ["first", ("vc", 2)]
+
+
+class TestCacheIntegration:
+    def test_second_call_hits_cache(self):
+        cache = QueryCache()
+        first = solve_query(_sat_query("ch.a", 2, 9), cache=cache)
+        second = solve_query(_sat_query("ch.b", 2, 9), cache=cache)
+        assert not first.cached and second.cached
+        assert second.verdict is CheckResult.SAT
+        assert second.solver_time == 0.0
+        model = second.model()
+        x = BVVar("ch.b.x", 8)
+        assert 2 < int(model[x]) < 9  # type: ignore[arg-type]
+
+    def test_cache_false_disables_caching(self):
+        r1 = solve_query(_sat_query("off.a", 2, 9), cache=False)
+        r2 = solve_query(_sat_query("off.b", 2, 9), cache=False)
+        assert not r1.cached and not r2.cached
+
+    def test_fresh_scope_collides_across_checks(self):
+        # The checker pattern: identical check bodies under fresh_scope mint
+        # identical terms, so the second run is pure cache hits.
+        cache = QueryCache()
+
+        def run():
+            with fresh_scope():
+                from repro.smt import fresh_var
+                from repro.smt.sorts import BV
+                x = fresh_var("fs", BV(8))
+                q = Query([UGt(x, BVConst(2, 8)), ULt(x, BVConst(9, 8))])
+                return solve_query(q, cache=cache)
+
+        assert not run().cached
+        assert run().cached
+
+
+class TestBudgets:
+    def test_submillisecond_timeout_reports_unknown(self):
+        # Acceptance: an expired per-query budget must surface as UNKNOWN
+        # (the paper's T.O) — never as a wrong SAT/UNSAT verdict.
+        res = solve_query(_factoring_query(timeout=1e-6), cache=False)
+        assert res.verdict is CheckResult.UNKNOWN
+
+    def test_unknown_is_never_cached(self):
+        cache = QueryCache()
+        timed_out = solve_query(_factoring_query(timeout=1e-6), cache=cache)
+        assert timed_out.verdict is CheckResult.UNKNOWN
+        assert cache.stats["stores"] == 0
+        # With a real budget the same query now solves — a cached UNKNOWN
+        # would have masked the answer forever.
+        solved = solve_query(_factoring_query(timeout=60.0), cache=cache)
+        assert solved.verdict is CheckResult.SAT
+        model = solved.model()
+        x, y = BVVar("fq.x", 16), BVVar("fq.y", 16)
+        product = int(model[x]) * int(model[y])  # type: ignore[arg-type]
+        assert product % (1 << 16) == 143  # bit-vector multiply wraps
+
+    def test_parallel_timeout_reports_unknown(self):
+        queries = [_factoring_query(timeout=1e-6),
+                   _sat_query("bt.ok", 2, 9)]
+        results = solve_all(queries, jobs=2, cache=False)
+        assert results[0].verdict is CheckResult.UNKNOWN
+        assert results[1].verdict is CheckResult.SAT
+
+    def test_stats_travel_back(self):
+        res = solve_query(_sat_query("st.a", 2, 9), cache=False)
+        assert res.stats.get("time", 0.0) > 0.0
+        assert "sat_time" in res.stats
