@@ -36,7 +36,8 @@ def check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
                                do_simplify: bool = True,
                                validate: bool = True,
                                jobs: int | None = None,
-                               cache=None) -> CheckOutcome:
+                               cache=None,
+                               policy=None) -> CheckOutcome:
     """Section III baseline: serialize all threads of ``config`` and ask the
     solver for an input on which the outputs differ.
 
@@ -49,13 +50,14 @@ def check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
             src_info, tgt_info, config, scalar_values=scalar_values,
             concretize_extent=concretize_extent, timeout=timeout,
             do_simplify=do_simplify, validate=validate, jobs=jobs,
-            cache=cache)
+            cache=cache, policy=policy)
 
 
 def _check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
                                 config: LaunchConfig, *, scalar_values,
                                 concretize_extent, timeout, do_simplify,
-                                validate, jobs, cache) -> CheckOutcome:
+                                validate, jobs, cache,
+                                policy=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     width = config.width
@@ -100,7 +102,7 @@ def _check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
     response = solve_query(
         Query([*constraints, Or(*differs)], timeout=timeout,
               do_simplify=do_simplify),
-        cache=cache)
+        cache=cache, policy=policy)
     result = response.verdict
     outcome.vcs_checked = 1
     outcome.solver_time = response.solver_time
@@ -150,8 +152,10 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
                       scalar_values: dict[str, int] | None = None,
                       timeout: float | None = None,
                       options: ParamOptions | None = None,
+                      validate: bool = True,
                       jobs: int | None = None,
-                      cache=None) -> CheckOutcome:
+                      cache=None,
+                      policy=None) -> CheckOutcome:
     """Unified entry point.
 
     ``method="param"`` — the paper's parameterized checker: needs ``width``
@@ -168,6 +172,10 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
             opts.jobs = jobs
         if cache is not None:
             opts.cache = cache
+        if policy is not None:
+            opts.policy = policy
+        if not validate:
+            opts.validate = False
         return check_equivalence_param(
             src_info, tgt_info, width,
             assumption_builder=assumption_builder,
@@ -179,5 +187,6 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
             src_info, tgt_info, config,
             scalar_values=scalar_values,
             concretize_extent=concretize_extent,
-            timeout=timeout, jobs=jobs, cache=cache)
+            timeout=timeout, validate=validate, jobs=jobs, cache=cache,
+            policy=policy)
     raise ValueError(f"unknown method {method!r}")

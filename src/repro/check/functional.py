@@ -157,17 +157,18 @@ def check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
                               timeout: float | None = None,
                               validate: bool = True,
                               jobs: int | None = None,
-                              cache=None) -> CheckOutcome:
+                              cache=None,
+                              policy=None) -> CheckOutcome:
     """Refute the kernel's post-conditions at a concrete geometry."""
     with fresh_scope():
         return _check_functional_nonparam(
             info, config, scalar_values=scalar_values, timeout=timeout,
-            validate=validate, jobs=jobs, cache=cache)
+            validate=validate, jobs=jobs, cache=cache, policy=policy)
 
 
 def _check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
                                scalar_values, timeout, validate, jobs,
-                               cache) -> CheckOutcome:
+                               cache, policy=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     width = config.width
@@ -201,7 +202,7 @@ def _check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
     responses = solve_all(
         [Query([*constraints, Not(obligation)], timeout=budget)
          for obligation, _ in obligations],
-        jobs=jobs, cache=cache)
+        jobs=jobs, cache=cache, policy=policy)
     for response, (obligation, line) in zip(responses, obligations):
         result = response.verdict
         outcome.vcs_checked += 1
@@ -259,7 +260,8 @@ def check_functional_param(info: KernelInfo, width: int, *,
                            bughunt: bool = False,
                            validate: bool = True,
                            jobs: int | None = None,
-                           cache=None) -> CheckOutcome:
+                           cache=None,
+                           policy=None) -> CheckOutcome:
     """Parameterized post-condition checking (loop-free kernels).
 
     The post-condition's array reads are resolved through the kernel's CAs
@@ -270,12 +272,13 @@ def check_functional_param(info: KernelInfo, width: int, *,
         return _check_functional_param(
             info, width, assumption_builder=assumption_builder,
             concretize=concretize, timeout=timeout, bughunt=bughunt,
-            validate=validate, jobs=jobs, cache=cache)
+            validate=validate, jobs=jobs, cache=cache, policy=policy)
 
 
 def _check_functional_param(info: KernelInfo, width: int, *,
                             assumption_builder, concretize, timeout,
-                            bughunt, validate, jobs, cache) -> CheckOutcome:
+                            bughunt, validate, jobs, cache,
+                            policy=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     geometry = Geometry.create(width)
@@ -324,7 +327,7 @@ def _check_functional_param(info: KernelInfo, width: int, *,
         response = solve_query(
             Query([*assumptions, *premises, Not(And(*obligations))],
                   timeout=budget()),
-            cache=cache)
+            cache=cache, policy=policy)
         outcome.vcs_checked += 1
         outcome.solver_time += response.solver_time
         outcome.merge_solver_stats(response.stats)
@@ -394,7 +397,7 @@ def _check_functional_param(info: KernelInfo, width: int, *,
             responses = solve_all(
                 [Query([*assumptions, *case.constraints, Not(case.value)],
                        timeout=budget()) for case in cases],
-                jobs=jobs, cache=cache)
+                jobs=jobs, cache=cache, policy=policy)
             for response in responses:
                 outcome.vcs_checked += 1
                 outcome.solver_time += response.solver_time

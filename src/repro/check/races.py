@@ -106,7 +106,8 @@ def check_races(info: KernelInfo, width: int = 16, *,
                 timeout: float | None = None,
                 validate: bool = True,
                 jobs: int | None = None,
-                cache=None) -> CheckOutcome:
+                cache=None,
+                policy=None) -> CheckOutcome:
     """Check the kernel race-free for any thread count.
 
     A ``VERIFIED`` verdict means no two distinct threads can conflict on any
@@ -122,11 +123,13 @@ def check_races(info: KernelInfo, width: int = 16, *,
         return _check_races(info, width,
                             assumption_builder=assumption_builder,
                             concretize=concretize, timeout=timeout,
-                            validate=validate, jobs=jobs, cache=cache)
+                            validate=validate, jobs=jobs, cache=cache,
+                            policy=policy)
 
 
 def _check_races(info: KernelInfo, width: int, *, assumption_builder,
-                 concretize, timeout, validate, jobs, cache) -> CheckOutcome:
+                 concretize, timeout, validate, jobs, cache,
+                 policy=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     geometry = Geometry.create(width)
@@ -193,13 +196,13 @@ def _check_races(info: KernelInfo, width: int, *, assumption_builder,
     bounded = solve_all(
         [Query([*assumptions, *q.terms, *bounds], timeout=budget())
          for q in queries],
-        jobs=jobs, cache=cache)
+        jobs=jobs, cache=cache, policy=policy)
     need_full = [i for i, r in enumerate(bounded)
                  if r.verdict is not CheckResult.SAT]
     full = dict(zip(need_full, solve_all(
         [Query([*assumptions, *queries[i].terms], timeout=budget())
          for i in need_full],
-        jobs=jobs, cache=cache)))
+        jobs=jobs, cache=cache, policy=policy)))
 
     for i, q in enumerate(queries):
         account(bounded[i])

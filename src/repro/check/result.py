@@ -87,6 +87,30 @@ class CheckOutcome:
             value = query_stats.get(key)
             if isinstance(value, (int, float)):
                 agg[key] = agg.get(key, 0) + value
+        self._merge_resilience(query_stats.get("resilience"))
+
+    def _merge_resilience(self, res: dict[str, Any] | None) -> None:
+        """Fold one query's dispatch-level resilience record (retry
+        attempts, contained errors, pool events) into
+        ``stats["resilience"]``."""
+        if not isinstance(res, dict):
+            return
+        agg = self.stats.setdefault("resilience", {})
+        attempts = res.get("attempts") or []
+        agg["attempts"] = agg.get("attempts", 0) + len(attempts)
+        if len(attempts) > 1:
+            agg["retried"] = agg.get("retried", 0) + 1
+        if res.get("recovered"):
+            agg["recovered"] = agg.get("recovered", 0) + 1
+        errors = sum(1 for a in attempts if a.get("error"))
+        if errors:
+            agg["errors"] = agg.get("errors", 0) + errors
+        pool = res.get("pool")
+        if isinstance(pool, dict):
+            agg["worker_restarts"] = (agg.get("worker_restarts", 0)
+                                      + int(pool.get("worker_restarts", 0)))
+            if pool.get("degraded"):
+                agg["degraded"] = True
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         out = f"{self.verdict.value} ({self.elapsed:.2f}s, {self.vcs_checked} VCs)"
@@ -115,6 +139,20 @@ def format_solver_stats(outcome: "CheckOutcome") -> str:
                 "time"):
         if key in agg:
             lines.append(f"  {key:<12} {agg[key]:.3f}s")
+    res = outcome.stats.get("resilience")
+    if res:
+        lines.append("resilience:")
+        lines.append(f"  attempts     {res.get('attempts', 0)}"
+                     f"  (retried queries: {res.get('retried', 0)},"
+                     f" recovered: {res.get('recovered', 0)})")
+        if res.get("errors"):
+            lines.append(f"  errors       {res['errors']} (contained as "
+                         "UNKNOWN)")
+        if res.get("worker_restarts"):
+            lines.append(f"  pool         {res['worker_restarts']} worker "
+                         "restart(s)"
+                         + (", degraded to serial"
+                            if res.get("degraded") else ""))
     return "\n".join(lines)
 
 

@@ -7,6 +7,16 @@ Commands mirror the library's checkers:
 * ``pugpara races KERNEL.cu --width 8``
 * ``pugpara run KERNEL.cu --bdim 4,1,1 --set n=3 --array data=1,2,3,4``
 * ``pugpara suite`` — list the bundled kernel suite.
+
+Exit codes (the contract CI and scripts key off):
+
+* ``0`` — property verified (or a concrete run finished clean);
+* ``1`` — property refuted: a replay-confirmed counterexample was found;
+* ``2`` — usage error (argparse);
+* ``3`` — inconclusive: budget exhausted (the paper's T.O), an unconfirmed
+  candidate counterexample, or an unsupported kernel — degradation, not
+  failure;
+* ``4`` — internal error: the checker itself failed.
 """
 
 from __future__ import annotations
@@ -20,9 +30,29 @@ from .check import (
 from .check.result import Verdict, format_solver_stats
 from .lang import LaunchConfig, check_kernel, parse_kernel, run_kernel
 from .param.equivalence import ParamOptions
-from .smt import QueryCache, default_cache, default_jobs
+from .smt import QueryCache, RetryPolicy, default_cache, default_jobs
+from .smt.resilience import ESCALATIONS
 
-__all__ = ["main"]
+__all__ = ["main", "EXIT_VERIFIED", "EXIT_REFUTED", "EXIT_USAGE",
+           "EXIT_UNKNOWN", "EXIT_INTERNAL"]
+
+#: The exit-code contract (also documented in ``--help`` and README).
+EXIT_VERIFIED = 0   # property holds / clean concrete run
+EXIT_REFUTED = 1    # replay-confirmed counterexample
+EXIT_USAGE = 2      # argparse usage error
+EXIT_UNKNOWN = 3    # T.O / unconfirmed candidate / unsupported kernel
+EXIT_INTERNAL = 4   # the checker itself failed
+
+_EXIT_EPILOG = """\
+exit codes:
+  0  property verified (or concrete run finished without races/assertions)
+  1  property refuted: replay-confirmed counterexample (or concrete run hit
+     a race/assertion failure)
+  2  usage error
+  3  inconclusive: budget exhausted (T.O), unconfirmed candidate
+     counterexample, or unsupported kernel
+  4  internal error
+"""
 
 
 def _triple(text: str) -> tuple[int, ...]:
@@ -81,11 +111,24 @@ def _concretize(args) -> dict | None:
     return out
 
 
+def _policy(args) -> RetryPolicy | None:
+    """The retry policy the flags describe, or None (environment default)."""
+    if (args.retries is None and args.escalation is None
+            and args.max_budget is None):
+        return None
+    return RetryPolicy(
+        retries=args.retries if args.retries is not None else 0,
+        escalation=args.escalation or "geometric",
+        max_timeout=args.max_budget)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="pugpara",
         description="Parameterized verification of GPU kernel programs "
-                    "(PUGpara reproduction)")
+                    "(PUGpara reproduction)",
+        epilog=_EXIT_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
@@ -111,6 +154,22 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--stats", action="store_true",
                        help="print accumulated solver statistics "
                             "(conflicts, decisions, phase times, cache hits)")
+        p.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="retry UNKNOWN solver verdicts up to N times "
+                            "under escalated budgets "
+                            "(default: $PUGPARA_RETRIES or 0)")
+        p.add_argument("--escalation", choices=ESCALATIONS, default=None,
+                       help="budget escalation schedule for retries: "
+                            "geometric doubles the budget each attempt, "
+                            "luby follows the Luby restart sequence")
+        p.add_argument("--max-budget", type=float, default=None,
+                       metavar="SECONDS",
+                       help="cap on the escalated per-query timeout")
+        p.add_argument("--validate-cex",
+                       action=argparse.BooleanOptionalAction, default=True,
+                       help="replay-confirm counterexamples through the "
+                            "concrete interpreter before reporting BUG "
+                            "(--no-validate-cex trusts the solver model)")
 
     p_eq = sub.add_parser("equiv", help="check kernel equivalence")
     p_eq.add_argument("source")
@@ -140,7 +199,17 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("suite", help="list the bundled kernel suite")
 
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except Exception as exc:
+        # An internal failure must be distinguishable from a refutation
+        # (1) and from honest degradation (3).
+        print(f"pugpara: internal error: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return EXIT_INTERNAL
 
+
+def _dispatch(args) -> int:
     if args.command == "suite":
         from .kernels import KERNELS, PAIRS
         print("kernels:")
@@ -149,7 +218,7 @@ def main(argv: list[str] | None = None) -> int:
         print("equivalence pairs:")
         for name in sorted(PAIRS):
             print(f"  {name}")
-        return 0
+        return EXIT_VERIFIED
 
     builder = suite_assumptions(args.pair) if args.pair else None
     jobs = args.jobs if getattr(args, "jobs", None) else default_jobs()
@@ -159,12 +228,19 @@ def main(argv: list[str] | None = None) -> int:
         cache = QueryCache(disk_dir=args.cache_dir)
     else:
         cache = None  # the shared in-memory default
+    policy = _policy(args) if hasattr(args, "retries") else None
+    validate = getattr(args, "validate_cex", True)
 
     def report(outcome) -> int:
         print(outcome)
         if getattr(args, "stats", False):
             print(format_solver_stats(outcome))
-        return 0 if outcome.verdict is Verdict.VERIFIED else 1
+        if outcome.verdict is Verdict.VERIFIED:
+            return EXIT_VERIFIED
+        if outcome.verdict is Verdict.BUG:
+            return EXIT_REFUTED
+        # TIMEOUT / UNKNOWN / UNSUPPORTED: inconclusive, not wrong.
+        return EXIT_UNKNOWN
 
     if args.command == "equiv":
         _, src = _load(args.source)
@@ -175,12 +251,15 @@ def main(argv: list[str] | None = None) -> int:
                 assumption_builder=builder, concretize=_concretize(args),
                 options=ParamOptions(timeout=args.timeout,
                                      bughunt=args.bughunt,
-                                     jobs=jobs, cache=cache))
+                                     validate=validate,
+                                     jobs=jobs, cache=cache,
+                                     policy=policy))
         else:
             outcome = check_equivalence(
                 src, tgt, method="nonparam", config=_config(args),
                 scalar_values=_parse_sets(args.set) or None,
-                timeout=args.timeout, jobs=jobs, cache=cache)
+                timeout=args.timeout, validate=validate, jobs=jobs,
+                cache=cache, policy=policy)
         return report(outcome)
 
     if args.command == "func":
@@ -189,12 +268,14 @@ def main(argv: list[str] | None = None) -> int:
             outcome = check_functional(
                 info, method="param", width=args.width,
                 assumption_builder=builder, concretize=_concretize(args),
-                timeout=args.timeout, jobs=jobs, cache=cache)
+                timeout=args.timeout, validate=validate, jobs=jobs,
+                cache=cache, policy=policy)
         else:
             outcome = check_functional(
                 info, method="nonparam", config=_config(args),
                 scalar_values=_parse_sets(args.set) or None,
-                timeout=args.timeout, jobs=jobs, cache=cache)
+                timeout=args.timeout, validate=validate, jobs=jobs,
+                cache=cache, policy=policy)
         return report(outcome)
 
     if args.command == "races":
@@ -202,8 +283,8 @@ def main(argv: list[str] | None = None) -> int:
         outcome = check_races(info, args.width,
                               assumption_builder=builder,
                               concretize=_concretize(args),
-                              timeout=args.timeout,
-                              jobs=jobs, cache=cache)
+                              timeout=args.timeout, validate=validate,
+                              jobs=jobs, cache=cache, policy=policy)
         return report(outcome)
 
     if args.command == "run":
@@ -221,9 +302,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"RACE: {race}")
         for failure in result.assertion_failures:
             print(f"ASSERT: {failure}")
-        return 0 if not (result.races or result.assertion_failures) else 1
+        return (EXIT_VERIFIED
+                if not (result.races or result.assertion_failures)
+                else EXIT_REFUTED)
 
-    return 2  # pragma: no cover
+    return EXIT_USAGE  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

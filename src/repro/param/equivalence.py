@@ -67,6 +67,7 @@ class ParamOptions:
     simplify: bool = True               # term-level simplification ablation
     jobs: int | None = None             # VC dispatch worker processes
     cache: object = None                # canonical query cache (False = off)
+    policy: object = None               # UNKNOWN retry policy (None = env)
 
 
 @dataclass
@@ -103,7 +104,7 @@ class _Run:
         response = solve_query(
             Query(terms, timeout=self.budget(),
                   do_simplify=self.options.simplify),
-            cache=self.options.cache)
+            cache=self.options.cache, policy=self.options.policy)
         self.account(response)
         return response.verdict, response
 
@@ -346,7 +347,8 @@ class _GroupChecker:
                 [Query(terms, timeout=run.budget(),
                        do_simplify=run.options.simplify)
                  for terms in term_lists],
-                jobs=run.options.jobs, cache=run.options.cache)
+                jobs=run.options.jobs, cache=run.options.cache,
+                policy=run.options.policy)
             for response in responses:
                 run.account(response)
             return responses

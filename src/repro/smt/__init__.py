@@ -36,6 +36,8 @@ from .dispatch import (
     Query, QueryResult, default_cache, default_jobs, resolve_cache,
     solve_all, solve_query,
 )
+from .resilience import ESCALATIONS, RetryPolicy, default_policy
+from .faults import FaultPlan, InjectedFault
 
 __all__ = [
     # sorts
@@ -58,4 +60,7 @@ __all__ = [
     "QueryCache", "canonical_key", "canonicalize",
     "Query", "QueryResult", "default_cache", "default_jobs",
     "resolve_cache", "solve_all", "solve_query",
+    # resilience
+    "ESCALATIONS", "RetryPolicy", "default_policy",
+    "FaultPlan", "InjectedFault",
 ]

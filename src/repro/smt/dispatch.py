@@ -1,4 +1,4 @@
-"""Parallel dispatch of independent SMT queries.
+"""Parallel dispatch of independent SMT queries — the resilient runtime.
 
 Every verification condition the checkers emit is an independent ``check()``
 — there is no shared solver state to protect (the facade is deliberately
@@ -17,23 +17,48 @@ parent merges back into each :class:`QueryResult`.
 Per-query wall-clock budgets ride inside the worker's ``Solver`` and surface
 as ``UNKNOWN`` on expiry — the paper's ``T.O`` — never as a wrong verdict.
 
+Beyond throughput, the dispatcher is a *resilient runtime* — it degrades,
+it never reports what it cannot defend:
+
+* **UNKNOWN retries.** A :class:`~repro.smt.resilience.RetryPolicy` re-asks
+  budget-exhausted queries under escalated budgets (geometric or Luby); the
+  per-attempt record travels back in ``stats["resilience"]``.
+* **Worker-crash recovery.** A dead worker (``BrokenProcessPool``) requeues
+  its in-flight queries, the pool is rebuilt under capped exponential
+  backoff, and after ``PUGPARA_POOL_RETRIES`` consecutive pool failures the
+  remaining queries degrade to in-process serial solving — logged, never
+  fatal.  ``PUGPARA_WORKER_RLIMIT_MB`` optionally caps each worker's
+  address space so one OOM query cannot take the run down; workers ignore
+  SIGINT so Ctrl-C tears the pool down cleanly from the parent.
+* **Exception containment.** A solver failure (genuine or injected via
+  :mod:`repro.smt.faults`) becomes ``UNKNOWN`` with the error recorded —
+  never an unhandled exception, never a fabricated verdict.
+
 Determinism: the CDCL core is deterministic, so a batch solved at ``jobs=8``
 returns bit-identical verdicts (and models) to a serial run; only wall-clock
-changes.
+changes.  Faults and retries preserve this one-sidedly: a faulted or
+budget-starved run answers the fault-free verdict or ``UNKNOWN``.
 """
 
 from __future__ import annotations
 
+import logging
 import os
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import time
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Sequence
 
+from . import faults
+from .faults import FaultPlan
 from .model import Model
 from .qcache import (
     QueryCache, canonicalize, decode_terms, encode_terms,
     model_from_canonical, model_to_canonical,
 )
+from .resilience import RetryPolicy, default_policy
 from .simplify import simplify_all
 from .solver import CheckResult, Solver
 from .terms import Term
@@ -41,6 +66,8 @@ from ..errors import SolverError
 
 __all__ = ["Query", "QueryResult", "solve_query", "solve_all",
            "default_cache", "default_jobs", "resolve_cache"]
+
+log = logging.getLogger("repro.smt.dispatch")
 
 
 @dataclass
@@ -106,11 +133,74 @@ def resolve_cache(cache: QueryCache | bool | None) -> QueryCache | None:
 
 
 def default_jobs() -> int:
-    """Worker count from ``PUGPARA_JOBS`` (default 1 = in-process)."""
+    """Worker count from ``PUGPARA_JOBS`` (default 1 = in-process).
+
+    Non-numeric or non-positive values are rejected with a warning and
+    fall back to 1 — a misconfigured environment degrades to serial
+    solving, it does not crash or silently spin up a bad pool.
+    """
+    raw = os.environ.get("PUGPARA_JOBS", "1")
     try:
-        return max(1, int(os.environ.get("PUGPARA_JOBS", "1")))
+        jobs = int(raw)
     except ValueError:
+        warnings.warn(f"PUGPARA_JOBS={raw!r} is not an integer; "
+                      "falling back to 1 worker", RuntimeWarning,
+                      stacklevel=2)
         return 1
+    if jobs < 1:
+        warnings.warn(f"PUGPARA_JOBS={raw!r} must be a positive worker "
+                      "count; falling back to 1", RuntimeWarning,
+                      stacklevel=2)
+        return 1
+    return jobs
+
+
+def _pool_retries() -> int:
+    """Consecutive pool failures tolerated before degrading to serial."""
+    try:
+        return max(1, int(os.environ.get("PUGPARA_POOL_RETRIES", "3")))
+    except ValueError:
+        return 3
+
+
+def _pool_backoff() -> float:
+    """Base seconds of the capped exponential pool-rebuild backoff."""
+    try:
+        return max(0.0, float(os.environ.get("PUGPARA_POOL_BACKOFF",
+                                             "0.05")))
+    except ValueError:
+        return 0.05
+
+
+def _worker_rlimit_mb() -> int | None:
+    """Optional per-worker address-space cap (``PUGPARA_WORKER_RLIMIT_MB``)."""
+    raw = os.environ.get("PUGPARA_WORKER_RLIMIT_MB")
+    if not raw:
+        return None
+    try:
+        mb = int(raw)
+    except ValueError:
+        return None
+    return mb if mb > 0 else None
+
+
+def _worker_init(rlimit_mb: int | None) -> None:
+    """Worker-process initializer.
+
+    SIGINT is ignored so a Ctrl-C in the parent interrupts only the parent,
+    which then shuts the pool down cleanly instead of every worker spewing
+    a KeyboardInterrupt traceback.  The optional address-space rlimit turns
+    a runaway query's OOM into a contained MemoryError/worker death the
+    dispatcher already recovers from.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if rlimit_mb:
+        try:
+            import resource
+            limit = rlimit_mb * 1024 * 1024
+            resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+        except (ImportError, ValueError, OSError):  # pragma: no cover
+            pass  # best-effort: platforms without RLIMIT_AS solve uncapped
 
 
 # ------------------------------------------------------------ internals
@@ -134,25 +224,58 @@ def _prepare(index: int, query: Query) -> _Prepared:
                      varmap=varmap)
 
 
-def _solve_local(query: Query) -> tuple[CheckResult, Model | None, dict]:
-    solver = Solver(timeout=query.timeout,
-                    conflict_budget=query.conflict_budget,
-                    do_simplify=query.do_simplify,
-                    validate_models=query.validate_models)
-    solver.add(*query.assertions)
-    verdict = solver.check()
-    model = solver.model() if verdict is CheckResult.SAT else None
-    return verdict, model, dict(solver.stats)
+#: One leader's outcome: (verdict, model, stats).
+_Outcome = tuple[CheckResult, Model | None, dict]
+
+
+def _solve_local_guarded(query: Query, timeout: float | None,
+                         conflict_budget: int | None,
+                         plan: FaultPlan | None, key: str,
+                         salt: int) -> _Outcome:
+    """Solve in-process; any failure degrades to UNKNOWN with the error
+    recorded — the parent process must survive every query."""
+    start = time.monotonic()
+    try:
+        faults.maybe_delay(plan, "local", key, salt)
+        faults.maybe_raise(plan, "local", key, salt)
+        solver = Solver(timeout=timeout, conflict_budget=conflict_budget,
+                        do_simplify=query.do_simplify,
+                        validate_models=query.validate_models)
+        solver.add(*query.assertions)
+        verdict = solver.check()
+        model = solver.model() if verdict is CheckResult.SAT else None
+        return verdict, model, dict(solver.stats)
+    except MemoryError:
+        return CheckResult.UNKNOWN, None, {
+            "error": "memory exhausted", "time": time.monotonic() - start}
+    except Exception as exc:
+        return CheckResult.UNKNOWN, None, {
+            "error": f"{type(exc).__name__}: {exc}",
+            "time": time.monotonic() - start}
 
 
 def _worker_solve(payload: tuple) -> tuple[str, dict | None, dict]:
     """Executed in a worker process: decode, solve, project the model."""
-    blob, timeout, conflict_budget, do_simplify, validate_models = payload
-    terms = decode_terms(blob)
-    solver = Solver(timeout=timeout, conflict_budget=conflict_budget,
-                    do_simplify=do_simplify, validate_models=validate_models)
-    solver.add(*terms)
-    verdict = solver.check()
+    (blob, timeout, conflict_budget, do_simplify, validate_models,
+     key, fault_spec, salt) = payload
+    plan = FaultPlan.from_spec(fault_spec) if fault_spec else None
+    # Injection points: a crash kills this worker abruptly (the parent sees
+    # BrokenProcessPool); a raised fault propagates through the future (the
+    # parent contains it as UNKNOWN).
+    faults.maybe_crash(plan, key, salt)
+    faults.maybe_delay(plan, "worker", key, salt)
+    faults.maybe_raise(plan, "worker", key, salt)
+    try:
+        terms = decode_terms(blob)
+        solver = Solver(timeout=timeout, conflict_budget=conflict_budget,
+                        do_simplify=do_simplify,
+                        validate_models=validate_models)
+        solver.add(*terms)
+        verdict = solver.check()
+    except MemoryError:
+        # The rlimit fired: report a contained budget failure instead of
+        # letting the allocator kill the process.
+        return CheckResult.UNKNOWN.value, None, {"error": "memory exhausted"}
     model_blob: dict | None = None
     if verdict is CheckResult.SAT:
         model = solver.model()
@@ -213,27 +336,195 @@ def _result_from_entry(entry: dict, varmap: dict[Term, int],
                        _model=model)
 
 
+# ----------------------------------------------------- the solving waves
+
+
+def _attempt_salt(attempt: int, requeue: int) -> int:
+    """Fold the retry attempt and pool-requeue count into one fault salt, so
+    every re-dispatch of a query draws a fresh deterministic decision."""
+    return attempt * 1024 + requeue
+
+
+def _solve_wave_pool(wave: list[_Prepared],
+                     budgets: dict[str, tuple[float | None, int | None]],
+                     jobs: int, plan: FaultPlan | None, events: dict,
+                     attempt: int) -> dict[str, _Outcome]:
+    """Solve one wave of leaders on worker processes, surviving crashes.
+
+    A broken pool requeues the unfinished queries and is rebuilt under
+    capped exponential backoff; after ``PUGPARA_POOL_RETRIES`` consecutive
+    failures the survivors degrade to in-process serial solving.
+    """
+    results: dict[str, _Outcome] = {}
+    pending: list[tuple[_Prepared, int]] = [(p, 0) for p in wave]
+    spec = plan.to_spec() if plan is not None else None
+    failures = 0
+    max_failures = _pool_retries()
+    backoff = _pool_backoff()
+    rlimit = _worker_rlimit_mb()
+
+    while pending:
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)),
+            initializer=_worker_init, initargs=(rlimit,))
+        futures = {}
+        for prep, requeue in pending:
+            timeout, conflicts = budgets[prep.key]
+            payload = (encode_terms(prep.work), timeout, conflicts,
+                       prep.query.do_simplify, prep.query.validate_models,
+                       prep.key, spec, _attempt_salt(attempt, requeue))
+            futures[pool.submit(_worker_solve, payload)] = (prep, requeue)
+        requeued: list[tuple[_Prepared, int]] = []
+        for future, (prep, requeue) in futures.items():
+            try:
+                verdict_str, model_blob, stats = future.result()
+            except BrokenExecutor:
+                # The worker died mid-query (crash, OOM kill): requeue with
+                # a bumped salt so the retry draws a fresh fault decision.
+                requeued.append((prep, requeue + 1))
+                continue
+            except Exception as exc:
+                # A worker raised (injected fault, decode failure...):
+                # contained as UNKNOWN, never propagated to the caller.
+                results[prep.key] = (CheckResult.UNKNOWN, None, {
+                    "error": f"{type(exc).__name__}: {exc}", "time": 0.0})
+                continue
+            results[prep.key] = (CheckResult(verdict_str),
+                                 _model_from_names(model_blob, prep.varmap),
+                                 stats)
+        pool.shutdown(wait=False, cancel_futures=True)
+        if not requeued:
+            break
+        failures += 1
+        events["worker_restarts"] = events.get("worker_restarts", 0) + 1
+        if failures >= max_failures:
+            # Bottom of the degradation ladder: solve the survivors
+            # serially in-process.  Crash faults cannot fire here (no
+            # worker), so this rung always terminates.
+            events["degraded"] = True
+            log.warning(
+                "worker pool failed %d times in a row; degrading %d "
+                "queries to in-process serial solving",
+                failures, len(requeued))
+            for prep, requeue in requeued:
+                timeout, conflicts = budgets[prep.key]
+                results[prep.key] = _solve_local_guarded(
+                    prep.query, timeout, conflicts, plan, prep.key,
+                    _attempt_salt(attempt, requeue))
+            break
+        sleep = min(1.0, backoff * (2 ** (failures - 1)))
+        log.warning(
+            "worker pool broke (%d in-flight queries requeued); "
+            "rebuilding after %.2fs backoff (failure %d/%d)",
+            len(requeued), sleep, failures, max_failures)
+        if sleep > 0:
+            time.sleep(sleep)
+        pending = requeued
+    return results
+
+
+def _attempt_record(attempt: int, timeout: float | None,
+                    conflicts: int | None, verdict: CheckResult,
+                    stats: dict) -> dict:
+    record: dict[str, Any] = {"attempt": attempt, "verdict": verdict.value}
+    if timeout is not None:
+        record["timeout"] = timeout
+    if conflicts is not None:
+        record["conflict_budget"] = conflicts
+    if stats.get("error"):
+        record["error"] = stats["error"]
+    return record
+
+
+def _solve_batch(leaders: list[_Prepared], *, jobs: int,
+                 policy: RetryPolicy, plan: FaultPlan | None,
+                 events: dict) -> dict[str, _Outcome]:
+    """Solve every leader, retrying UNKNOWNs under escalated budgets."""
+    outcomes: dict[str, _Outcome] = {}
+    records: dict[str, list[dict]] = {p.key: [] for p in leaders}
+    wave = list(leaders)
+    attempt = 0
+    while wave:
+        budgets = {
+            p.key: policy.budgets(p.query.timeout, p.query.conflict_budget,
+                                  attempt)
+            for p in wave}
+        if jobs > 1 and len(wave) > 1 and not events.get("degraded"):
+            solved = _solve_wave_pool(wave, budgets, jobs, plan, events,
+                                      attempt)
+        else:
+            solved = {
+                p.key: _solve_local_guarded(
+                    p.query, *budgets[p.key], plan, p.key,
+                    _attempt_salt(attempt, 0))
+                for p in wave}
+        retry: list[_Prepared] = []
+        for p in wave:
+            verdict, model, stats = solved[p.key]
+            records[p.key].append(_attempt_record(
+                attempt, *budgets[p.key], verdict, stats))
+            outcomes[p.key] = (verdict, model, stats)
+            if verdict is CheckResult.UNKNOWN and attempt < policy.retries:
+                retry.append(p)
+        if retry:
+            log.info("retrying %d UNKNOWN queries at escalation attempt %d",
+                     len(retry), attempt + 1)
+        wave = retry
+        attempt += 1
+
+    # Surface the per-attempt story where there is one to tell: a retry, a
+    # contained error, or pool-level events.
+    for i, p in enumerate(leaders):
+        recs = records[p.key]
+        verdict, model, stats = outcomes[p.key]
+        noteworthy = len(recs) > 1 or any(r.get("error") for r in recs)
+        pool_events = i == 0 and (events.get("worker_restarts")
+                                  or events.get("degraded"))
+        if not (noteworthy or pool_events):
+            continue
+        stats = dict(stats)
+        stats["resilience"] = {
+            "attempts": recs,
+            "recovered": (len(recs) > 1
+                          and verdict is not CheckResult.UNKNOWN),
+        }
+        if pool_events:
+            stats["resilience"]["pool"] = {
+                "worker_restarts": events.get("worker_restarts", 0),
+                "degraded": bool(events.get("degraded")),
+            }
+        outcomes[p.key] = (verdict, model, stats)
+    return outcomes
+
+
 # -------------------------------------------------------------- public
 
 
 def solve_query(query: Query,
-                cache: QueryCache | bool | None = None) -> QueryResult:
+                cache: QueryCache | bool | None = None,
+                policy: RetryPolicy | None = None) -> QueryResult:
     """Solve one query in-process, through the canonical cache."""
-    return solve_all([query], jobs=1, cache=cache)[0]
+    return solve_all([query], jobs=1, cache=cache, policy=policy)[0]
 
 
 def solve_all(queries: Sequence[Query], *, jobs: int | None = None,
-              cache: QueryCache | bool | None = None) -> list[QueryResult]:
+              cache: QueryCache | bool | None = None,
+              policy: RetryPolicy | None = None) -> list[QueryResult]:
     """Solve every query; results come back in input order.
 
     ``jobs > 1`` fans cache misses out to that many worker processes.
     Structurally identical queries (canonical-key equal) are solved once per
     batch; the followers receive the leader's verdict and a model rebound to
-    their own variables.
+    their own variables.  ``policy`` (default: the environment's
+    :func:`~repro.smt.resilience.default_policy`) retries UNKNOWN verdicts
+    under escalated budgets.
     """
     if jobs is None:
         jobs = default_jobs()
+    if policy is None:
+        policy = default_policy()
     cache_obj = resolve_cache(cache)
+    plan = faults.active()
     results: list[QueryResult | None] = [None] * len(queries)
 
     # Phase 1: canonicalize, consult the cache, group duplicates.
@@ -252,29 +543,20 @@ def solve_all(queries: Sequence[Query], *, jobs: int | None = None,
 
     leaders = [groups[key][0] for key in order]
 
-    # Phase 2: solve each group's leader (in-process or across workers).
+    # Phase 2: solve each group's leader through the resilient runtime
+    # (worker pool with crash recovery, or in-process), retrying UNKNOWNs
+    # under the policy's escalation schedule.
+    events: dict = {}
+    solved = _solve_batch(leaders, jobs=jobs, policy=policy, plan=plan,
+                          events=events)
     entries: dict[str, dict] = {}
     leader_models: dict[str, Model | None] = {}
-    if jobs > 1 and len(leaders) > 1:
-        payloads = [(encode_terms(p.work), p.query.timeout,
-                     p.query.conflict_budget, p.query.do_simplify,
-                     p.query.validate_models) for p in leaders]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(leaders))) as pool:
-            outcomes = list(pool.map(_worker_solve, payloads))
-        for prep, (verdict_str, model_blob, stats) in zip(leaders, outcomes):
-            verdict = CheckResult(verdict_str)
-            model = _model_from_names(model_blob, prep.varmap)
-            entries[prep.key] = _cache_entry(verdict, model, prep.varmap,
-                                             stats)
-            entries[prep.key]["stats"] = stats  # keep the full stat set
-            leader_models[prep.key] = model
-    else:
-        for prep in leaders:
-            verdict, model, stats = _solve_local(prep.query)
-            entry = _cache_entry(verdict, model, prep.varmap, stats)
-            entry["stats"] = stats
-            entries[prep.key] = entry
-            leader_models[prep.key] = model
+    for prep in leaders:
+        verdict, model, stats = solved[prep.key]
+        entry = _cache_entry(verdict, model, prep.varmap, stats)
+        entry["stats"] = stats  # keep the full stat set
+        entries[prep.key] = entry
+        leader_models[prep.key] = model
 
     # Phase 3: populate the cache and fan results back out.
     for key in order:

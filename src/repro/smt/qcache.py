@@ -26,6 +26,14 @@ Layers:
 * an optional on-disk layer (JSON files under ``.pugpara_cache/``), each
   entry carrying a format tag so stale caches from older encodings are
   rejected rather than trusted.
+
+The disk layer defends itself: writes land via temp-file + ``os.replace``
+(never a torn file on a clean filesystem), every payload carries a sha256
+checksum of its entry, and a file that fails to parse or verify — a torn
+write, bit rot, a concurrent writer from a broken run — is **quarantined**
+(renamed to ``<key>.json.corrupt``) so it is inspected once, not re-parsed
+on every lookup.  A stale-but-wellformed format tag is a plain miss, not
+corruption.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ import tempfile
 from collections import OrderedDict
 from typing import Any, Iterable, Mapping, Sequence
 
+from . import faults
 from .model import Model
 from .sorts import ARRAY, BOOL, BV, ArraySort, BitVecSort, Sort
 from .terms import Kind, Term
@@ -49,7 +58,21 @@ __all__ = [
 
 #: Bumped whenever the canonical-key traversal, the term encoding, or the
 #: entry layout changes; on-disk entries with a different tag are ignored.
-FORMAT_TAG = "pugpara-qcache-v1"
+#: v2: payloads carry a per-entry checksum.
+FORMAT_TAG = "pugpara-qcache-v2"
+
+
+def _entry_checksum(entry: Any) -> str:
+    """sha256 over the JSON-normalized entry.
+
+    The entry is round-tripped through JSON before hashing so the checksum
+    is computed over exactly what a later load will see (int dict keys
+    become strings, tuples become lists); both sides then agree on the
+    ``sort_keys`` ordering.
+    """
+    canon = json.loads(json.dumps(entry))
+    blob = json.dumps(canon, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 # --------------------------------------------------------------- sorts
@@ -236,7 +259,8 @@ class QueryCache:
         self.disk_dir = os.fspath(disk_dir) if disk_dir is not None else None
         self.format_tag = format_tag
         self._memory: OrderedDict[str, dict] = OrderedDict()
-        self.stats = {"hits": 0, "misses": 0, "disk_hits": 0, "stores": 0}
+        self.stats = {"hits": 0, "misses": 0, "disk_hits": 0, "stores": 0,
+                      "quarantined": 0}
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -280,18 +304,38 @@ class QueryCache:
         assert self.disk_dir is not None
         return os.path.join(self.disk_dir, f"{key}.json")
 
+    def _quarantine(self, key: str) -> None:
+        """Rename a damaged cache file aside (``<key>.json.corrupt``) so a
+        torn or rotted entry is inspected once, not re-parsed per lookup."""
+        path = self._path(key)
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            pass
+        self.stats["quarantined"] += 1
+
     def _disk_lookup(self, key: str) -> dict | None:
         if self.disk_dir is None:
             return None
         try:
             with open(self._path(key), encoding="utf-8") as fh:
                 payload = json.load(fh)
+        except FileNotFoundError:
+            return None
         except (OSError, ValueError):
+            # Unreadable or torn JSON: damaged, not merely absent.
+            self._quarantine(key)
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(key)
             return None
         if payload.get("tag") != self.format_tag:
-            return None  # stale format: never trust it
+            return None  # stale format: a plain miss, never trusted
         entry = payload.get("entry")
-        if not isinstance(entry, dict) or "verdict" not in entry:
+        checksum = payload.get("checksum")
+        if (not isinstance(entry, dict) or "verdict" not in entry
+                or checksum != _entry_checksum(entry)):
+            self._quarantine(key)
             return None
         model = entry.get("model")
         if model is not None:
@@ -307,11 +351,18 @@ class QueryCache:
     def _disk_store(self, key: str, entry: dict) -> None:
         if self.disk_dir is None:
             return
+        payload = {"tag": self.format_tag,
+                   "checksum": _entry_checksum(entry),
+                   "entry": entry}
+        data = json.dumps(payload).encode()
+        # Fault-injection point: a corrupt_cache plan garbles the bytes the
+        # way a torn write would, exercising the quarantine path.
+        data = faults.corrupt_bytes(faults.active(), key, data)
         try:
             os.makedirs(self.disk_dir, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump({"tag": self.format_tag, "entry": entry}, fh)
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
             os.replace(tmp, self._path(key))
         except OSError:  # cache is best-effort; never fail the query
             pass
@@ -320,7 +371,7 @@ class QueryCache:
         self._memory.clear()
         if disk and self.disk_dir is not None and os.path.isdir(self.disk_dir):
             for name in os.listdir(self.disk_dir):
-                if name.endswith(".json"):
+                if name.endswith(".json") or name.endswith(".corrupt"):
                     try:
                         os.unlink(os.path.join(self.disk_dir, name))
                     except OSError:

@@ -78,3 +78,78 @@ def test_run_reports_races(tmp_path, capsys):
     out = capsys.readouterr().out
     assert rc == 1
     assert "RACE" in out
+
+
+class TestExitCodeContract:
+    """0 verified / 1 refuted / 3 inconclusive / 4 internal error — the
+    contract scripts and CI key off (2 is argparse's usage error)."""
+
+    def test_unknown_exit_code_on_timeout(self, kernel_files, capsys):
+        from repro.cli import EXIT_UNKNOWN
+        rc = main(["equiv", kernel_files["naiveTranspose"],
+                   kernel_files["optimizedTranspose"],
+                   "--method", "nonparam", "--width", "8",
+                   "--bdim", "4,4,1", "--gdim", "2,2",
+                   "--set", "width=8", "--set", "height=8",
+                   "--timeout", "0.0001", "--no-cache"])
+        out = capsys.readouterr().out
+        assert rc == EXIT_UNKNOWN
+        assert "timeout" in out
+
+    def test_internal_error_exit_code(self, capsys):
+        from repro.cli import EXIT_INTERNAL
+        rc = main(["races", "/nonexistent/kernel.cu"])
+        err = capsys.readouterr().err
+        assert rc == EXIT_INTERNAL
+        assert "internal error" in err
+
+    def test_usage_error_is_exit_2(self):
+        import pytest
+        with pytest.raises(SystemExit) as exc:
+            main(["races"])  # missing kernel argument
+        assert exc.value.code == 2
+
+    def test_help_documents_exit_codes(self, capsys):
+        import pytest
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        assert "internal error" in out
+
+
+class TestResilienceFlags:
+    def test_retries_flag_recovers_timeout(self, tmp_path, capsys):
+        """A budget-starved races run recovers under --retries (wall-clock
+        escalation doubles the tiny timeout until the queries fit)."""
+        p = tmp_path / "ok.cu"
+        p.write_text("void f(int *o) { o[tid.x] = 1; }")
+        rc = main(["races", str(p), "--width", "8", "--timeout", "60",
+                   "--cbdim", "4,1,1", "--cgdim", "1,1",
+                   "--retries", "3", "--escalation", "luby",
+                   "--max-budget", "60", "--no-cache", "--stats"])
+        assert rc == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_no_validate_cex_flag_accepted(self, tmp_path, capsys):
+        p = tmp_path / "racy.cu"
+        p.write_text("void f(int *o) { o[0] = tid.x; }")
+        rc = main(["races", str(p), "--width", "8", "--timeout", "60",
+                   "--no-validate-cex", "--no-cache"])
+        assert rc == 1
+        assert "bug" in capsys.readouterr().out
+
+    def test_stats_include_resilience_section(self, tmp_path, capsys):
+        """Under a total-exception fault plan with retries, --stats renders
+        the resilience block."""
+        from repro.smt import FaultPlan, faults
+        p = tmp_path / "ok.cu"
+        p.write_text("void f(int *o) { o[tid.x] = 1; }")
+        plan = FaultPlan(seed=4, solver_exception=1.0, max_triggers=1)
+        with faults.injected(plan):
+            rc = main(["races", str(p), "--width", "8", "--timeout", "60",
+                       "--cbdim", "4,1,1", "--cgdim", "1,1",
+                       "--retries", "2", "--no-cache", "--stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resilience:" in out

@@ -1,11 +1,12 @@
 """Unit tests for counterexample replay (the no-false-alarms guard)."""
 
 from repro.check.replay import (
-    replay_equivalence, replay_postcondition, extract_launch,
+    MAX_REPLAY_THREADS, replay_equivalence, replay_postcondition,
+    extract_launch,
 )
 from repro.check.result import Counterexample
 from repro.kernels import address_mutants, load, load_pair
-from repro.lang import check_kernel
+from repro.lang import check_kernel, parse_kernel
 
 
 def _transpose_cex(**kw):
@@ -80,3 +81,78 @@ class TestExtractLaunch:
         cex = extract_launch(model, geo, {}, {})
         assert cex.bdim == (1, 1, 1)
         assert cex.gdim == (1, 1)
+
+    def test_partially_pinned_model(self):
+        """A model that pins only some launch dims (the formula mentioned
+        only those): pinned dims survive, the rest complete to 1."""
+        from repro.param.geometry import Geometry
+        from repro.smt import BVVar, Model
+        geo = Geometry.create(8)
+        n = BVVar("in.n", 8)
+        model = Model({geo.bdim["x"]: 4, geo.gdim["y"]: 2, n: 9})
+        cex = extract_launch(model, geo, {"n": n}, {})
+        assert cex.bdim == (4, 1, 1)
+        assert cex.gdim == (1, 2)
+        assert cex.scalars == {"n": 9}
+
+
+class TestOversizeBoundary:
+    """The `_too_big` guard, exercised at its exact boundary through both
+    public replayers."""
+
+    def _cex(self, bdim, gdim):
+        return Counterexample(bdim=bdim, gdim=gdim, scalars={}, arrays={})
+
+    def test_exact_limit_is_replayed(self):
+        info = check_kernel(parse_kernel(
+            "void f(int *o) { o[tid.x] = 1; }"))
+        # 128*128 = 16384 == MAX_REPLAY_THREADS: still replayable
+        cex = self._cex((128, 1, 1), (128, 1))
+        assert 128 * 128 == MAX_REPLAY_THREADS
+        res = replay_postcondition(info, cex, 16)
+        assert "large" not in res.reason
+
+    def test_one_past_limit_rejected_postcondition(self):
+        info = check_kernel(parse_kernel(
+            "void f(int *o) { o[tid.x] = 1; }"))
+        res = replay_postcondition(info, self._cex((128, 1, 1), (129, 1)),
+                                   16)
+        assert not res.confirmed
+        assert "large" in res.reason
+
+    def test_one_past_limit_rejected_equivalence(self):
+        (_, si), (_, ti) = load_pair("Transpose")
+        res = replay_equivalence(si, ti, self._cex((128, 1, 1), (129, 1)),
+                                 16)
+        assert not res.confirmed
+        assert "large" in res.reason
+
+
+class TestReplayFaults:
+    def test_faulting_replay_is_not_confirmed(self):
+        """An interpreter fault during replay (here an out-of-bounds shared
+        access) is an unconfirmed candidate, not a crash and not a BUG."""
+        info = check_kernel(parse_kernel("""
+            void f(int *o) {
+                __shared__ int s[2];
+                s[tid.x + 10] = 1;
+                o[tid.x] = s[tid.x];
+            }"""))
+        cex = Counterexample(bdim=(2, 1, 1), gdim=(1, 1))
+        res = replay_postcondition(info, cex, 8)
+        assert not res.confirmed
+        assert "replay faulted" in res.reason
+
+    def test_unknown_outcome_replay_not_confirmed(self):
+        """Replaying a candidate that satisfies the postcondition (an
+        UNKNOWN-style unconfirmed outcome) reports the honest reason."""
+        info = check_kernel(parse_kernel("""
+            void f(int *o) {
+                o[tid.x] = 1;
+                postcond(o[0] == 1);
+            }"""))
+        assert info.postconds  # the guard below is actually re-checked
+        cex = Counterexample(bdim=(2, 1, 1), gdim=(1, 1))
+        res = replay_postcondition(info, cex, 8)
+        assert not res.confirmed
+        assert "holds" in res.reason

@@ -173,3 +173,71 @@ class TestQueryCacheDisk:
         cache.store("tagchk", self._entry())
         payload = json.loads((tmp_path / "tagchk.json").read_text())
         assert payload["tag"] == FORMAT_TAG
+
+
+class TestDiskIntegrity:
+    """The checksum + quarantine layer of the disk cache."""
+
+    def _entry(self):
+        return {"verdict": "sat",
+                "model": {"scalars": {0: 3}, "arrays": {}},
+                "stats": {"conflicts": 2}}
+
+    def test_entries_carry_verifying_checksum(self, tmp_path):
+        QueryCache(disk_dir=tmp_path).store("chk", self._entry())
+        payload = json.loads((tmp_path / "chk.json").read_text())
+        assert "checksum" in payload
+        assert QueryCache(disk_dir=tmp_path).lookup("chk") is not None
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        QueryCache(disk_dir=tmp_path).store("tamper", self._entry())
+        path = tmp_path / "tamper.json"
+        payload = json.loads(path.read_text())
+        payload["entry"]["verdict"] = "unsat"  # bit rot / tampering
+        path.write_text(json.dumps(payload))
+        reader = QueryCache(disk_dir=tmp_path)
+        assert reader.lookup("tamper") is None
+        assert not path.exists()
+        assert (tmp_path / "tamper.json.corrupt").exists()
+        assert reader.stats["quarantined"] == 1
+
+    def test_torn_json_quarantined(self, tmp_path):
+        (tmp_path / "torn.json").write_text('{"tag": "pugpara')
+        reader = QueryCache(disk_dir=tmp_path)
+        assert reader.lookup("torn") is None
+        assert (tmp_path / "torn.json.corrupt").exists()
+
+    def test_quarantined_file_not_reparsed(self, tmp_path):
+        (tmp_path / "once.json").write_text("{not json")
+        reader = QueryCache(disk_dir=tmp_path)
+        assert reader.lookup("once") is None
+        assert reader.stats["quarantined"] == 1
+        # second lookup: the damaged file is gone, so it's a plain miss
+        assert reader.lookup("once") is None
+        assert reader.stats["quarantined"] == 1
+
+    def test_stale_tag_is_miss_not_quarantine(self, tmp_path):
+        stale = QueryCache(disk_dir=tmp_path, format_tag="pugpara-qcache-v0")
+        stale.store("0ldie", self._entry())
+        reader = QueryCache(disk_dir=tmp_path)
+        assert reader.lookup("0ldie") is None
+        assert reader.stats["quarantined"] == 0
+        assert (tmp_path / "0ldie.json").exists()  # left for inspection
+
+    def test_injected_corruption_survived(self, tmp_path):
+        """A corrupt_cache fault garbles the write; the next reader
+        quarantines it and reports a miss — never a wrong entry."""
+        from repro.smt import FaultPlan, faults
+        with faults.injected(FaultPlan(seed=7, corrupt_cache=1.0)):
+            QueryCache(disk_dir=tmp_path).store("fz", self._entry())
+        reader = QueryCache(disk_dir=tmp_path)
+        assert reader.lookup("fz") is None
+        assert reader.stats["quarantined"] == 1
+
+    def test_clear_disk_removes_quarantined(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        cache = QueryCache(disk_dir=tmp_path)
+        cache.store("good", self._entry())
+        cache.lookup("bad")  # quarantines
+        cache.clear(disk=True)
+        assert list(tmp_path.iterdir()) == []
