@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Benchmark shared-prefix incremental solving and CNF preprocessing.
+
+Runs a suite of race and equivalence checks three ways —
+
+* ``oneshot``      — the non-incremental facade (``incremental=False``);
+* ``incremental``  — shared-prefix assumption solving, no preprocessing;
+* ``incremental_preprocess`` — incremental plus the SatELite-style pass;
+
+all at ``jobs=1`` with caching off, so the columns isolate the solving
+strategy from parallel fan-out.  Each cell is run ``--repeats`` times and
+the minimum wall time is kept (the suite is deterministic; the minimum is
+the least noisy estimator on a shared machine).
+
+Writes ``BENCH_incremental.json`` with per-cell times and verdicts, whole
+suite totals, and the headline speedup computed over the *multi-VC* cells
+(``queries >= 8``) — the batches with enough shared-prefix queries for
+incremental solving to amortize; single-VC cells can only show parity.
+
+Verdicts must be identical across all three modes; any mismatch fails the
+run.  ``--check-regression`` additionally fails if the incremental column
+is more than 1.1x slower than one-shot on any cell (with a small absolute
+slack for sub-second cells), which is how CI keeps the incremental path
+honest.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py [--smoke]
+        [--repeats N] [--check-regression] [-o OUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.check.configs import reduction_assumptions, transpose_assumptions
+from repro.check.equivalence import check_equivalence
+from repro.check.races import check_races
+from repro.kernels import load
+from repro.lang import LaunchConfig
+
+TRANSPOSE_CONC = {"bdim": (2, 2, 1), "gdim": (2, 2),
+                  "scalars": {"width": 4, "height": 4}}
+REDUCE_CONC = {"bdim": (8, 1, 1), "gdim": (1, 1)}
+TIMEOUT = 300.0
+
+MODES = (
+    ("oneshot", {"incremental": False}),
+    ("incremental", {"incremental": True, "preprocess": False}),
+    ("incremental_preprocess", {"incremental": True, "preprocess": True}),
+)
+
+#: Cells whose batches carry at least this many VCs count toward the
+#: headline (multi-VC) speedup.
+MULTI_VC_THRESHOLD = 8
+
+#: Regression gate: incremental must not exceed
+#: ``RATIO * oneshot + SLACK`` seconds on any cell.
+REGRESSION_RATIO = 1.1
+REGRESSION_SLACK = 0.2
+
+
+def _suite(smoke: bool):
+    """(name, callable(**mode_kwargs)) pairs — the benchmark workload."""
+    _, naive_t = load("naiveTranspose")
+    _, opt_t = load("optimizedTranspose")
+    _, naive_r = load("naiveReduce")
+    _, opt_r = load("optimizedReduce")
+
+    def races(info, width, builder, conc):
+        return lambda **kw: check_races(
+            info, width, assumption_builder=builder, concretize=conc,
+            timeout=TIMEOUT, jobs=1, cache=False, **kw)
+
+    def equiv_param(src, tgt, width, builder, conc):
+        return lambda **kw: check_equivalence(
+            src, tgt, method="param", width=width,
+            assumption_builder=builder, concretize=conc,
+            timeout=TIMEOUT, jobs=1, cache=False, **kw)
+
+    def equiv_nonparam(src, tgt, config, scalars):
+        return lambda **kw: check_equivalence(
+            src, tgt, method="nonparam", config=config,
+            scalar_values=scalars, timeout=TIMEOUT, jobs=1, cache=False,
+            **kw)
+
+    cells = [
+        ("races/naiveTranspose/w8",
+         races(naive_t, 8, transpose_assumptions, TRANSPOSE_CONC)),
+        ("races/optimizedReduce/w16",
+         races(opt_r, 16, reduction_assumptions, REDUCE_CONC)),
+        ("races/naiveReduce/w16",
+         races(naive_r, 16, reduction_assumptions, REDUCE_CONC)),
+        ("equiv-param/Reduce/w8",
+         equiv_param(naive_r, opt_r, 8, reduction_assumptions,
+                     REDUCE_CONC)),
+    ]
+    if not smoke:
+        cells += [
+            ("races/optimizedTranspose/w16",
+             races(opt_t, 16, transpose_assumptions, TRANSPOSE_CONC)),
+            ("races/optimizedReduce/w32",
+             races(opt_r, 32, reduction_assumptions, REDUCE_CONC)),
+            ("races/naiveReduce/w32",
+             races(naive_r, 32, reduction_assumptions, REDUCE_CONC)),
+            ("equiv-param/Transpose/w8",
+             equiv_param(naive_t, opt_t, 8, transpose_assumptions,
+                         TRANSPOSE_CONC)),
+            ("equiv-nonparam/Transpose4",
+             equiv_nonparam(naive_t, opt_t,
+                            LaunchConfig(bdim=(2, 2, 1), gdim=(2, 2),
+                                         width=8),
+                            {"width": 4, "height": 4})),
+        ]
+    return cells
+
+
+def _run_cell(fn, kwargs, repeats: int):
+    best = None
+    outcome = None
+    for _ in range(repeats):
+        start = time.monotonic()
+        outcome = fn(**kwargs)
+        elapsed = time.monotonic() - start
+        best = elapsed if best is None else min(best, elapsed)
+    queries = outcome.stats.get("solver", {}).get("queries", 0)
+    return {"verdict": outcome.verdict.name, "elapsed": round(best, 4),
+            "queries": queries}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output",
+                        default=os.path.join(os.path.dirname(__file__), "..",
+                                             "BENCH_incremental.json"))
+    parser.add_argument("--smoke", action="store_true",
+                        help="small cell set for CI")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="runs per cell; minimum wall time is kept")
+    parser.add_argument("--check-regression", action="store_true",
+                        help="fail if incremental is >1.1x slower than "
+                             "one-shot on any cell")
+    args = parser.parse_args(argv)
+
+    suite = _suite(args.smoke)
+    report = {"smoke": args.smoke, "repeats": args.repeats,
+              "suite_size": len(suite), "cells": {}}
+    totals = {mode: 0.0 for mode, _ in MODES}
+    multi_vc = {mode: 0.0 for mode, _ in MODES}
+    multi_vc_cells = []
+
+    for name, fn in suite:
+        cell = {}
+        for mode, kwargs in MODES:
+            print(f"{name} [{mode}] ...", flush=True)
+            cell[mode] = _run_cell(fn, kwargs, args.repeats)
+            totals[mode] += cell[mode]["elapsed"]
+        verdicts = {cell[mode]["verdict"] for mode, _ in MODES}
+        if len(verdicts) != 1:
+            print(f"VERDICT MISMATCH at {name}: "
+                  + ", ".join(f"{m}={cell[m]['verdict']}"
+                              for m, _ in MODES), file=sys.stderr)
+            return 1
+        if cell["oneshot"]["queries"] >= MULTI_VC_THRESHOLD:
+            multi_vc_cells.append(name)
+            for mode, _ in MODES:
+                multi_vc[mode] += cell[mode]["elapsed"]
+        report["cells"][name] = cell
+
+    report["totals"] = {m: round(t, 4) for m, t in totals.items()}
+    report["multi_vc_cells"] = multi_vc_cells
+    report["multi_vc_totals"] = {m: round(t, 4)
+                                 for m, t in multi_vc.items()}
+    report["speedup_incremental"] = round(
+        totals["oneshot"] / totals["incremental"], 3) \
+        if totals["incremental"] else None
+    report["speedup_incremental_preprocess"] = round(
+        totals["oneshot"] / totals["incremental_preprocess"], 3) \
+        if totals["incremental_preprocess"] else None
+    report["multi_vc_speedup_incremental_preprocess"] = round(
+        multi_vc["oneshot"] / multi_vc["incremental_preprocess"], 3) \
+        if multi_vc["incremental_preprocess"] else None
+
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    for mode, _ in MODES:
+        print(f"{mode:24s} {totals[mode]:8.2f}s")
+    print(f"suite speedup (incr+pp)    "
+          f"x{report['speedup_incremental_preprocess']}")
+    print(f"multi-VC speedup (incr+pp) "
+          f"x{report['multi_vc_speedup_incremental_preprocess']} "
+          f"over {multi_vc_cells}")
+    print(f"wrote {os.path.abspath(args.output)}")
+
+    if args.check_regression:
+        failed = False
+        for name, cell in report["cells"].items():
+            limit = (REGRESSION_RATIO * cell["oneshot"]["elapsed"]
+                     + REGRESSION_SLACK)
+            got = cell["incremental"]["elapsed"]
+            if got > limit:
+                print(f"REGRESSION at {name}: incremental {got:.2f}s > "
+                      f"{limit:.2f}s (1.1x one-shot + slack)",
+                      file=sys.stderr)
+                failed = True
+        if failed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

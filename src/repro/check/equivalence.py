@@ -37,7 +37,10 @@ def check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
                                validate: bool = True,
                                jobs: int | None = None,
                                cache=None,
-                               policy=None) -> CheckOutcome:
+                               policy=None,
+                               incremental: bool | None = None,
+                               preprocess: bool | None = None
+                               ) -> CheckOutcome:
     """Section III baseline: serialize all threads of ``config`` and ask the
     solver for an input on which the outputs differ.
 
@@ -50,14 +53,16 @@ def check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
             src_info, tgt_info, config, scalar_values=scalar_values,
             concretize_extent=concretize_extent, timeout=timeout,
             do_simplify=do_simplify, validate=validate, jobs=jobs,
-            cache=cache, policy=policy)
+            cache=cache, policy=policy, incremental=incremental,
+            preprocess=preprocess)
 
 
 def _check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
                                 config: LaunchConfig, *, scalar_values,
                                 concretize_extent, timeout, do_simplify,
                                 validate, jobs, cache,
-                                policy=None) -> CheckOutcome:
+                                policy=None, incremental=None,
+                                preprocess=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     width = config.width
@@ -102,7 +107,8 @@ def _check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
     response = solve_query(
         Query([*constraints, Or(*differs)], timeout=timeout,
               do_simplify=do_simplify),
-        cache=cache, policy=policy)
+        cache=cache, policy=policy, incremental=incremental,
+        preprocess=preprocess)
     result = response.verdict
     outcome.vcs_checked = 1
     outcome.solver_time = response.solver_time
@@ -155,7 +161,9 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
                       validate: bool = True,
                       jobs: int | None = None,
                       cache=None,
-                      policy=None) -> CheckOutcome:
+                      policy=None,
+                      incremental: bool | None = None,
+                      preprocess: bool | None = None) -> CheckOutcome:
     """Unified entry point.
 
     ``method="param"`` — the paper's parameterized checker: needs ``width``
@@ -174,6 +182,10 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
             opts.cache = cache
         if policy is not None:
             opts.policy = policy
+        if incremental is not None:
+            opts.incremental = incremental
+        if preprocess is not None:
+            opts.preprocess = preprocess
         if not validate:
             opts.validate = False
         return check_equivalence_param(
@@ -188,5 +200,5 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
             scalar_values=scalar_values,
             concretize_extent=concretize_extent,
             timeout=timeout, validate=validate, jobs=jobs, cache=cache,
-            policy=policy)
+            policy=policy, incremental=incremental, preprocess=preprocess)
     raise ValueError(f"unknown method {method!r}")

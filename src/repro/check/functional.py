@@ -158,17 +158,22 @@ def check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
                               validate: bool = True,
                               jobs: int | None = None,
                               cache=None,
-                              policy=None) -> CheckOutcome:
+                              policy=None,
+                              incremental: bool | None = None,
+                              preprocess: bool | None = None
+                              ) -> CheckOutcome:
     """Refute the kernel's post-conditions at a concrete geometry."""
     with fresh_scope():
         return _check_functional_nonparam(
             info, config, scalar_values=scalar_values, timeout=timeout,
-            validate=validate, jobs=jobs, cache=cache, policy=policy)
+            validate=validate, jobs=jobs, cache=cache, policy=policy,
+            incremental=incremental, preprocess=preprocess)
 
 
 def _check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
                                scalar_values, timeout, validate, jobs,
-                               cache, policy=None) -> CheckOutcome:
+                               cache, policy=None, incremental=None,
+                               preprocess=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     width = config.width
@@ -202,7 +207,8 @@ def _check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
     responses = solve_all(
         [Query([*constraints, Not(obligation)], timeout=budget)
          for obligation, _ in obligations],
-        jobs=jobs, cache=cache, policy=policy)
+        jobs=jobs, cache=cache, policy=policy, incremental=incremental,
+        preprocess=preprocess)
     for response, (obligation, line) in zip(responses, obligations):
         result = response.verdict
         outcome.vcs_checked += 1
@@ -261,7 +267,9 @@ def check_functional_param(info: KernelInfo, width: int, *,
                            validate: bool = True,
                            jobs: int | None = None,
                            cache=None,
-                           policy=None) -> CheckOutcome:
+                           policy=None,
+                           incremental: bool | None = None,
+                           preprocess: bool | None = None) -> CheckOutcome:
     """Parameterized post-condition checking (loop-free kernels).
 
     The post-condition's array reads are resolved through the kernel's CAs
@@ -272,13 +280,15 @@ def check_functional_param(info: KernelInfo, width: int, *,
         return _check_functional_param(
             info, width, assumption_builder=assumption_builder,
             concretize=concretize, timeout=timeout, bughunt=bughunt,
-            validate=validate, jobs=jobs, cache=cache, policy=policy)
+            validate=validate, jobs=jobs, cache=cache, policy=policy,
+            incremental=incremental, preprocess=preprocess)
 
 
 def _check_functional_param(info: KernelInfo, width: int, *,
                             assumption_builder, concretize, timeout,
                             bughunt, validate, jobs, cache,
-                            policy=None) -> CheckOutcome:
+                            policy=None, incremental=None,
+                            preprocess=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     geometry = Geometry.create(width)
@@ -397,7 +407,8 @@ def _check_functional_param(info: KernelInfo, width: int, *,
             responses = solve_all(
                 [Query([*assumptions, *case.constraints, Not(case.value)],
                        timeout=budget()) for case in cases],
-                jobs=jobs, cache=cache, policy=policy)
+                jobs=jobs, cache=cache, policy=policy,
+                incremental=incremental, preprocess=preprocess)
             for response in responses:
                 outcome.vcs_checked += 1
                 outcome.solver_time += response.solver_time

@@ -107,7 +107,9 @@ def check_races(info: KernelInfo, width: int = 16, *,
                 validate: bool = True,
                 jobs: int | None = None,
                 cache=None,
-                policy=None) -> CheckOutcome:
+                policy=None,
+                incremental: bool | None = None,
+                preprocess: bool | None = None) -> CheckOutcome:
     """Check the kernel race-free for any thread count.
 
     A ``VERIFIED`` verdict means no two distinct threads can conflict on any
@@ -124,12 +126,14 @@ def check_races(info: KernelInfo, width: int = 16, *,
                             assumption_builder=assumption_builder,
                             concretize=concretize, timeout=timeout,
                             validate=validate, jobs=jobs, cache=cache,
-                            policy=policy)
+                            policy=policy, incremental=incremental,
+                            preprocess=preprocess)
 
 
 def _check_races(info: KernelInfo, width: int, *, assumption_builder,
                  concretize, timeout, validate, jobs, cache,
-                 policy=None) -> CheckOutcome:
+                 policy=None, incremental=None,
+                 preprocess=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     geometry = Geometry.create(width)
@@ -196,13 +200,15 @@ def _check_races(info: KernelInfo, width: int, *, assumption_builder,
     bounded = solve_all(
         [Query([*assumptions, *q.terms, *bounds], timeout=budget())
          for q in queries],
-        jobs=jobs, cache=cache, policy=policy)
+        jobs=jobs, cache=cache, policy=policy, incremental=incremental,
+        preprocess=preprocess)
     need_full = [i for i, r in enumerate(bounded)
                  if r.verdict is not CheckResult.SAT]
     full = dict(zip(need_full, solve_all(
         [Query([*assumptions, *queries[i].terms], timeout=budget())
          for i in need_full],
-        jobs=jobs, cache=cache, policy=policy)))
+        jobs=jobs, cache=cache, policy=policy, incremental=incremental,
+        preprocess=preprocess)))
 
     for i, q in enumerate(queries):
         account(bounded[i])

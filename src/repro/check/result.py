@@ -83,6 +83,13 @@ class CheckOutcome:
         agg["queries"] = agg.get("queries", 0) + 1
         if query_stats.get("cache_hit"):
             agg["cache_hits"] = agg.get("cache_hits", 0) + 1
+        if query_stats.get("incremental"):
+            agg["incremental"] = agg.get("incremental", 0) + 1
+        axis = query_stats.get("budget_axis")
+        if axis in ("time", "conflicts"):
+            # Which budget axis actually expired on an UNKNOWN — lets
+            # --stats attribute escalations to the binding limit.
+            agg["budget_" + axis] = agg.get("budget_" + axis, 0) + 1
         for key in SOLVER_STAT_KEYS:
             value = query_stats.get(key)
             if isinstance(value, (int, float)):
@@ -100,6 +107,10 @@ class CheckOutcome:
         agg["attempts"] = agg.get("attempts", 0) + len(attempts)
         if len(attempts) > 1:
             agg["retried"] = agg.get("retried", 0) + 1
+        for a in attempts:
+            axis = a.get("budget_axis")
+            if axis in ("time", "conflicts"):
+                agg["budget_" + axis] = agg.get("budget_" + axis, 0) + 1
         if res.get("recovered"):
             agg["recovered"] = agg.get("recovered", 0) + 1
         errors = sum(1 for a in attempts if a.get("error"))
@@ -131,6 +142,12 @@ def format_solver_stats(outcome: "CheckOutcome") -> str:
     lines = ["solver stats:"]
     lines.append(f"  queries      {agg.get('queries', 0)}"
                  f"  (cache hits: {agg.get('cache_hits', 0)})")
+    if agg.get("incremental"):
+        lines.append(f"  incremental  {agg['incremental']} "
+                     "(solved under assumptions in shared-prefix groups)")
+    if agg.get("budget_time") or agg.get("budget_conflicts"):
+        lines.append(f"  budgets hit  time: {agg.get('budget_time', 0)}, "
+                     f"conflicts: {agg.get('budget_conflicts', 0)}")
     for key in ("conflicts", "decisions", "propagations", "restarts",
                 "learned", "clauses", "sat_vars"):
         if key in agg:
@@ -145,6 +162,10 @@ def format_solver_stats(outcome: "CheckOutcome") -> str:
         lines.append(f"  attempts     {res.get('attempts', 0)}"
                      f"  (retried queries: {res.get('retried', 0)},"
                      f" recovered: {res.get('recovered', 0)})")
+        if res.get("budget_time") or res.get("budget_conflicts"):
+            lines.append("  escalations  by wall-clock: "
+                         f"{res.get('budget_time', 0)}, by conflicts: "
+                         f"{res.get('budget_conflicts', 0)}")
         if res.get("errors"):
             lines.append(f"  errors       {res['errors']} (contained as "
                          "UNKNOWN)")

@@ -151,6 +151,18 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--cache-dir", metavar="DIR",
                        help="persist the query cache on disk under DIR "
                             "(e.g. .pugpara_cache)")
+        p.add_argument("--incremental",
+                       action=argparse.BooleanOptionalAction, default=None,
+                       help="group batched VCs by shared antecedent prefix "
+                            "and solve each group incrementally under "
+                            "assumption literals (default: "
+                            "PUGPARA_INCREMENTAL, off)")
+        p.add_argument("--preprocess",
+                       action=argparse.BooleanOptionalAction, default=None,
+                       help="run the SatELite-style CNF preprocessor on "
+                            "incremental groups (default: "
+                            "PUGPARA_PREPROCESS, on); --no-preprocess "
+                            "disables it")
         p.add_argument("--stats", action="store_true",
                        help="print accumulated solver statistics "
                             "(conflicts, decisions, phase times, cache hits)")
@@ -230,6 +242,8 @@ def _dispatch(args) -> int:
         cache = None  # the shared in-memory default
     policy = _policy(args) if hasattr(args, "retries") else None
     validate = getattr(args, "validate_cex", True)
+    incremental = getattr(args, "incremental", None)
+    preprocess = getattr(args, "preprocess", None)
 
     def report(outcome) -> int:
         print(outcome)
@@ -253,13 +267,16 @@ def _dispatch(args) -> int:
                                      bughunt=args.bughunt,
                                      validate=validate,
                                      jobs=jobs, cache=cache,
-                                     policy=policy))
+                                     policy=policy,
+                                     incremental=incremental,
+                                     preprocess=preprocess))
         else:
             outcome = check_equivalence(
                 src, tgt, method="nonparam", config=_config(args),
                 scalar_values=_parse_sets(args.set) or None,
                 timeout=args.timeout, validate=validate, jobs=jobs,
-                cache=cache, policy=policy)
+                cache=cache, policy=policy, incremental=incremental,
+                preprocess=preprocess)
         return report(outcome)
 
     if args.command == "func":
@@ -269,13 +286,15 @@ def _dispatch(args) -> int:
                 info, method="param", width=args.width,
                 assumption_builder=builder, concretize=_concretize(args),
                 timeout=args.timeout, validate=validate, jobs=jobs,
-                cache=cache, policy=policy)
+                cache=cache, policy=policy, incremental=incremental,
+                preprocess=preprocess)
         else:
             outcome = check_functional(
                 info, method="nonparam", config=_config(args),
                 scalar_values=_parse_sets(args.set) or None,
                 timeout=args.timeout, validate=validate, jobs=jobs,
-                cache=cache, policy=policy)
+                cache=cache, policy=policy, incremental=incremental,
+                preprocess=preprocess)
         return report(outcome)
 
     if args.command == "races":
@@ -284,7 +303,9 @@ def _dispatch(args) -> int:
                               assumption_builder=builder,
                               concretize=_concretize(args),
                               timeout=args.timeout, validate=validate,
-                              jobs=jobs, cache=cache, policy=policy)
+                              jobs=jobs, cache=cache, policy=policy,
+                              incremental=incremental,
+                              preprocess=preprocess)
         return report(outcome)
 
     if args.command == "run":

@@ -68,6 +68,8 @@ class ParamOptions:
     jobs: int | None = None             # VC dispatch worker processes
     cache: object = None                # canonical query cache (False = off)
     policy: object = None               # UNKNOWN retry policy (None = env)
+    incremental: bool | None = None     # shared-prefix batch solving
+    preprocess: bool | None = None      # CNF preprocessing in groups
 
 
 @dataclass
@@ -348,7 +350,9 @@ class _GroupChecker:
                        do_simplify=run.options.simplify)
                  for terms in term_lists],
                 jobs=run.options.jobs, cache=run.options.cache,
-                policy=run.options.policy)
+                policy=run.options.policy,
+                incremental=run.options.incremental,
+                preprocess=run.options.preprocess)
             for response in responses:
                 run.account(response)
             return responses

@@ -14,7 +14,10 @@ Layers (bottom-up):
   Ackermann);
 - :mod:`repro.smt.terms` / :mod:`repro.smt.simplify` / :mod:`repro.smt.poly`
   — hash-consed terms and algebraic normalization;
-- :mod:`repro.smt.solver` — the facade tying it together.
+- :mod:`repro.smt.preprocess` — SatELite-style CNF preprocessing;
+- :mod:`repro.smt.solver` — the one-shot facade tying it together;
+- :mod:`repro.smt.incremental` / :mod:`repro.smt.dispatch` — shared-prefix
+  incremental batch solving and the resilient parallel runtime.
 """
 
 from .sorts import ARRAY, BOOL, BV, ArraySort, BitVecSort, Sort
@@ -26,15 +29,18 @@ from .terms import (
     ULt, Var, Xor, ZeroExt, collect, fresh_name, fresh_scope, fresh_var,
     iter_dag, term_size,
 )
+from .terms import common_prefix_length, fingerprint, prefix_fingerprint
 from .simplify import simplify, simplify_all
 from .substitute import evaluate, substitute
 from .printer import script_smtlib, to_smtlib, to_str
 from .model import Model
 from .solver import CheckResult, Solver, check_valid, is_satisfiable
+from .preprocess import Preprocessor, preprocess
+from .incremental import GroupResult, plan_groups, solve_group
 from .qcache import QueryCache, canonical_key, canonicalize
 from .dispatch import (
-    Query, QueryResult, default_cache, default_jobs, resolve_cache,
-    solve_all, solve_query,
+    Query, QueryResult, default_cache, default_incremental, default_jobs,
+    default_preprocess, resolve_cache, solve_all, solve_query,
 )
 from .resilience import ESCALATIONS, RetryPolicy, default_policy
 from .faults import FaultPlan, InjectedFault
@@ -49,17 +55,22 @@ __all__ = [
     "Distinct", "Eq", "Extract", "Iff", "Implies", "Ite", "Kind", "Ne", "Not",
     "Or", "Select", "SGe", "SGt", "SignExt", "SLe", "SLt", "Store", "Term",
     "UGe", "UGt", "ULe", "ULt", "Var", "Xor", "ZeroExt", "collect",
-    "fresh_name", "fresh_scope", "fresh_var", "iter_dag", "term_size",
+    "common_prefix_length", "fingerprint", "fresh_name", "fresh_scope",
+    "fresh_var", "iter_dag", "prefix_fingerprint", "term_size",
     # transforms
     "simplify", "simplify_all", "substitute", "evaluate",
     # printing
     "script_smtlib", "to_smtlib", "to_str",
     # solving
     "CheckResult", "Model", "Solver", "check_valid", "is_satisfiable",
+    # preprocessing + incremental batches
+    "Preprocessor", "preprocess",
+    "GroupResult", "plan_groups", "solve_group",
     # caching + dispatch
     "QueryCache", "canonical_key", "canonicalize",
-    "Query", "QueryResult", "default_cache", "default_jobs",
-    "resolve_cache", "solve_all", "solve_query",
+    "Query", "QueryResult", "default_cache", "default_incremental",
+    "default_jobs", "default_preprocess", "resolve_cache", "solve_all",
+    "solve_query",
     # resilience
     "ESCALATIONS", "RetryPolicy", "default_policy",
     "FaultPlan", "InjectedFault",

@@ -18,22 +18,31 @@ Two passes:
    share one variable; reads whose indices provably differ skip their
    constraint.
 
+The work lives in :class:`ArrayEliminator`, which is *resumable*: after
+eliminating a batch's shared prefix once, :meth:`ArrayEliminator.fork`
+clones the caches so each query's residual assertions extend the same
+reduction without re-deriving the prefix — and without sharing the fresh
+element variables a sibling query introduces (sharing them would let one
+query's guarded consistency constraints leak into another's).
+:func:`eliminate_arrays` keeps the original one-shot interface.
+
 The returned :class:`ArrayInfo` lets the model layer reconstruct concrete
 array contents for counterexample replay.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 
-from .poly import poly_of, poly_add, poly_neg, poly_to_term
-from .simplify import index_difference, simplify
+from .poly import poly_of, poly_to_term
+from .simplify import index_difference
 from .sorts import ArraySort
 from .substitute import rebuild
 from .terms import Eq, Implies, Ite, Kind, Select, Term, fresh_var
 from ..errors import SolverError
 
-__all__ = ["ArrayInfo", "eliminate_arrays"]
+__all__ = ["ArrayInfo", "ArrayEliminator", "eliminate_arrays"]
 
 
 @dataclass
@@ -56,34 +65,144 @@ def _canonical_index(index: Term) -> Term:
     return poly_to_term(poly_of(index), sort)
 
 
-def _expand_select(array: Term, index: Term,
-                   cache: dict[tuple[Term, Term], Term]) -> Term:
-    """Resolve ``select(array, index)`` down to base-variable selects."""
-    key = (array, index)
-    hit = cache.get(key)
-    if hit is not None:
-        return hit
-    k = array.kind
-    if k == Kind.STORE:
-        base, widx, wval = array.args
-        d = index_difference(widx, index)
-        if d == 0:
-            out = wval
-        elif d is not None:
-            out = _expand_select(base, index, cache)
+class ArrayEliminator:
+    """Incremental write-chain expansion + Ackermann reduction.
+
+    Each :meth:`extend` call rewrites a batch of assertions into
+    array-free form and returns the functional-consistency constraints for
+    every read pair not yet covered — constraints pairing a new read with
+    any earlier read land in the *later* call, so a forked eliminator emits
+    exactly the constraints its own residual assertions are responsible for.
+    """
+
+    def __init__(self) -> None:
+        self._select_cache: dict[tuple[Term, Term], Term] = {}
+        self._rewrite_cache: dict[Term, Term] = {}
+        # (array_var, canonical_index) -> element var
+        self._assigned: dict[tuple[Term, Term], Term] = {}
+        self._replacement: dict[Term, Term] = {}
+        self._index_memo: dict[tuple[Term, Term], int | None] = {}
+        self.info = ArrayInfo()
+
+    def fork(self) -> "ArrayEliminator":
+        """An independent continuation sharing all work done so far.
+
+        The clone sees every cached rewrite and every element variable the
+        parent introduced, but fresh variables it mints stay its own.
+        """
+        clone = ArrayEliminator.__new__(ArrayEliminator)
+        clone._select_cache = dict(self._select_cache)
+        clone._rewrite_cache = dict(self._rewrite_cache)
+        clone._assigned = dict(self._assigned)
+        clone._replacement = dict(self._replacement)
+        clone._index_memo = dict(self._index_memo)
+        clone.info = ArrayInfo(
+            {a: list(p) for a, p in self.info.reads.items()})
+        return clone
+
+    # --------------------------------------------------- write-chain expansion
+
+    def _expand_select(self, array: Term, index: Term) -> Term:
+        """Resolve ``select(array, index)`` down to base-variable selects."""
+        key = (array, index)
+        hit = self._select_cache.get(key)
+        if hit is not None:
+            return hit
+        k = array.kind
+        if k == Kind.STORE:
+            base, widx, wval = array.args
+            d = index_difference(widx, index, self._index_memo)
+            if d == 0:
+                out = wval
+            elif d is not None:
+                out = self._expand_select(base, index)
+            else:
+                out = Ite(Eq(widx, index), wval,
+                          self._expand_select(base, index))
+        elif k == Kind.ITE:
+            cond, then, els = array.args
+            out = Ite(cond,
+                      self._expand_select(then, index),
+                      self._expand_select(els, index))
+        elif k == Kind.VAR:
+            out = Select(array, index)
         else:
-            out = Ite(Eq(widx, index), wval, _expand_select(base, index, cache))
-    elif k == Kind.ITE:
-        cond, then, els = array.args
-        out = Ite(cond,
-                  _expand_select(then, index, cache),
-                  _expand_select(els, index, cache))
-    elif k == Kind.VAR:
-        out = Select(array, index)
-    else:
-        raise SolverError(f"unsupported array term kind {k.name}")
-    cache[key] = out
-    return out
+            raise SolverError(f"unsupported array term kind {k.name}")
+        self._select_cache[key] = out
+        return out
+
+    def _expand(self, t: Term) -> Term:
+        hit = self._rewrite_cache.get(t)
+        if hit is not None:
+            return hit
+        if t.kind == Kind.EQ and isinstance(t.args[0].sort, ArraySort):
+            raise SolverError("array extensionality is not supported")
+        if not t.args:
+            out = t
+        else:
+            new_args = tuple(self._expand(a) for a in t.args)
+            if t.kind == Kind.SELECT:
+                out = self._expand_select(new_args[0], new_args[1])
+            else:
+                out = rebuild(t, new_args)
+        self._rewrite_cache[t] = out
+        return out
+
+    # ------------------------------------------------------------ Ackermann
+
+    def _ackermann(self, t: Term) -> Term:
+        hit = self._replacement.get(t)
+        if hit is not None:
+            return hit
+        if not t.args:
+            out = t
+        else:
+            new_args = tuple(self._ackermann(a) for a in t.args)
+            if t.kind == Kind.SELECT:
+                array, index = new_args
+                assert array.kind == Kind.VAR
+                canon = _canonical_index(index)
+                key = (array, canon)
+                var = self._assigned.get(key)
+                if var is None:
+                    var = fresh_var(f"{array.payload}@",
+                                    array.sort.elem_sort)
+                    self._assigned[key] = var
+                    self.info.reads.setdefault(array, []).append((index, var))
+                out = var
+            else:
+                out = rebuild(t, new_args)
+        self._replacement[t] = out
+        return out
+
+    # --------------------------------------------------------------- driving
+
+    def extend(self, assertions: list[Term]) -> tuple[list[Term], list[Term]]:
+        """Rewrite ``assertions``; returns ``(rewritten, constraints)`` where
+        ``constraints`` are the functional-consistency implications covering
+        every read pair involving at least one read new to this call."""
+        if sys.getrecursionlimit() < 100_000:
+            sys.setrecursionlimit(100_000)
+        mark = {array: len(pairs)
+                for array, pairs in self.info.reads.items()}
+        expanded = [self._expand(t) for t in assertions]
+        rewritten = [self._ackermann(t) for t in expanded]
+
+        constraints: list[Term] = []
+        for array, pairs in self.info.reads.items():
+            start = mark.get(array, 0)
+            for j in range(len(pairs)):
+                idx_j, var_j = pairs[j]
+                for k in range(max(j + 1, start), len(pairs)):
+                    idx_k, var_k = pairs[k]
+                    d = index_difference(idx_j, idx_k, self._index_memo)
+                    if d is not None:
+                        # 0 cannot happen (deduped); non-zero constant:
+                        # no aliasing.
+                        continue
+                    constraints.append(
+                        Implies(Eq(idx_j, idx_k), Eq(var_j, var_k)))
+        return rewritten, constraints
 
 
 def eliminate_arrays(assertions: list[Term]) -> tuple[list[Term], ArrayInfo]:
@@ -93,75 +212,6 @@ def eliminate_arrays(assertions: list[Term]) -> tuple[list[Term], ArrayInfo]:
     the paper's encodings never produce — outputs are always compared
     element-wise at a symbolic index.
     """
-    select_cache: dict[tuple[Term, Term], Term] = {}
-    rewrite_cache: dict[Term, Term] = {}
-
-    def expand(t: Term) -> Term:
-        hit = rewrite_cache.get(t)
-        if hit is not None:
-            return hit
-        if t.kind == Kind.EQ and isinstance(t.args[0].sort, ArraySort):
-            raise SolverError("array extensionality is not supported")
-        if not t.args:
-            out = t
-        else:
-            new_args = tuple(expand(a) for a in t.args)
-            if t.kind == Kind.SELECT:
-                out = _expand_select(new_args[0], new_args[1], select_cache)
-            else:
-                out = rebuild(t, new_args)
-        rewrite_cache[t] = out
-        return out
-
-    import sys
-    if sys.getrecursionlimit() < 100_000:
-        sys.setrecursionlimit(100_000)
-
-    expanded = [expand(t) for t in assertions]
-
-    # Ackermann reduction over the remaining base-variable selects.
-    info = ArrayInfo()
-    # (array_var, canonical_index) -> element var
-    assigned: dict[tuple[Term, Term], Term] = {}
-    replacement: dict[Term, Term] = {}
-
-    def ackermann(t: Term) -> Term:
-        hit = replacement.get(t)
-        if hit is not None:
-            return hit
-        if not t.args:
-            out = t
-        else:
-            new_args = tuple(ackermann(a) for a in t.args)
-            if t.kind == Kind.SELECT:
-                array, index = new_args
-                assert array.kind == Kind.VAR
-                canon = _canonical_index(index)
-                key = (array, canon)
-                var = assigned.get(key)
-                if var is None:
-                    var = fresh_var(f"{array.payload}@", array.sort.elem_sort)
-                    assigned[key] = var
-                    info.reads.setdefault(array, []).append((index, var))
-                out = var
-            else:
-                out = rebuild(t, new_args)
-        replacement[t] = out
-        return out
-
-    out_assertions = [ackermann(t) for t in expanded]
-
-    # Functional consistency: i_j = i_k  =>  r_j = r_k.
-    for array, pairs in info.reads.items():
-        for j in range(len(pairs)):
-            idx_j, var_j = pairs[j]
-            for k in range(j + 1, len(pairs)):
-                idx_k, var_k = pairs[k]
-                d = index_difference(idx_j, idx_k)
-                if d is not None:
-                    # 0 cannot happen (deduped); non-zero constant: no aliasing.
-                    continue
-                out_assertions.append(
-                    Implies(Eq(idx_j, idx_k), Eq(var_j, var_k)))
-
-    return out_assertions, info
+    eliminator = ArrayEliminator()
+    rewritten, constraints = eliminator.extend(assertions)
+    return rewritten + constraints, eliminator.info

@@ -9,6 +9,11 @@ when the term DAG is re-traversed.
 The constant literals ``true_lit``/``false_lit`` are two polarities of one
 reserved variable forced at level 0, which lets the bit-blaster treat
 constant bits uniformly as literals.
+
+The backend only needs ``new_var``/``add_clause``: a :class:`SATSolver` for
+direct solving, or a :class:`ClauseDB` when the clauses are destined for the
+preprocessor (:mod:`repro.smt.preprocess`) or an incremental group instance
+(:mod:`repro.smt.incremental`).
 """
 
 from __future__ import annotations
@@ -16,14 +21,48 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from .sat import SATSolver
+from ..errors import SolverError
 
-__all__ = ["GateBuilder"]
+__all__ = ["ClauseDB", "GateBuilder"]
+
+
+class ClauseDB:
+    """A plain clause sink implementing the :class:`GateBuilder` backend
+    protocol (``new_var``/``add_clause``).
+
+    Unlike :class:`SATSolver.add_clause` it performs no level-0
+    simplification — tautology removal and unit propagation are the
+    preprocessor's job — so the recorded CNF is exactly what the gates
+    emitted and can be replayed into any number of solver instances.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self.ok = True
+
+    def new_var(self) -> int:
+        v = self.num_vars
+        self.num_vars += 1
+        return v
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        clause = list(lits)
+        for lit in clause:
+            if not 0 <= lit < 2 * self.num_vars:
+                raise SolverError(
+                    f"literal {lit} references an undeclared variable")
+        if not clause:
+            self.ok = False
+            return False
+        self.clauses.append(clause)
+        return True
 
 
 class GateBuilder:
     """Clause emitter with structural gate caching."""
 
-    def __init__(self, sat: SATSolver | None = None) -> None:
+    def __init__(self, sat: SATSolver | ClauseDB | None = None) -> None:
         self.sat = sat if sat is not None else SATSolver()
         const_var = self.sat.new_var()
         self.true_lit = const_var << 1
@@ -166,5 +205,16 @@ class GateBuilder:
         carry = self.OR([self.AND([a, b]), self.AND([cin, axb])])
         return s, carry
 
-    def assert_lit(self, lit: int) -> None:
-        self.add_clause([lit])
+    def assert_lit(self, lit: int, guard: int | None = None) -> None:
+        """Assert ``lit``, optionally only under an assumption ``guard``.
+
+        Guarding emits ``guard -> lit`` instead of the unit clause, so the
+        assertion is inert until the guard literal is assumed.  Only these
+        top-level assertions need guarding: Tseitin gate definitions are
+        satisfiable under any input assignment, so sharing them between
+        differently-guarded queries is sound.
+        """
+        if guard is None:
+            self.add_clause([lit])
+        else:
+            self.add_clause([guard ^ 1, lit])

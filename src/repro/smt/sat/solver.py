@@ -11,10 +11,16 @@ lists with local-variable aliases, following the profiling guidance for
 pure-Python inner loops: no attribute lookups and no small-object churn on
 the fast path.
 
-The solver is deliberately non-incremental: the SMT facade builds a fresh
-instance per query, which keeps this core small and auditable.  Time and
-conflict budgets return ``UNKNOWN``; the checkers report that as the paper's
-``T.O``.
+The solver supports MiniSat-style *incremental* use: :meth:`SATSolver.solve`
+takes an optional sequence of assumption literals, established as forced
+decisions at successive levels before any branching.  Learned clauses,
+variable activities, and saved phases persist across calls on the same
+instance, so a batch of queries sharing a clause prefix pays for the hard
+parts once.  An UNSAT answer under assumptions does not poison the instance
+(``ok`` stays True); :attr:`SATSolver.conflict_assumptions` then holds the
+subset of assumptions the final conflict depends on.  Time and conflict
+budgets return ``UNKNOWN`` and record which axis was binding in
+``stats["budget_axis"]``; the checkers report that as the paper's ``T.O``.
 """
 
 from __future__ import annotations
@@ -76,6 +82,12 @@ class SATSolver:
         self.cla_decay = 1.0 / 0.999
         self.order_heap: list[tuple[float, int]] = []
         self.ok = True
+        # Assumption state for the current/most recent incremental solve.
+        self._assumptions: list[int] = []
+        #: After an UNSAT answer under assumptions: the subset of assumption
+        #: literals the final conflict depends on (empty when the instance
+        #: is unsatisfiable regardless of assumptions).
+        self.conflict_assumptions: list[int] = []
         self.stats = {"conflicts": 0, "decisions": 0, "propagations": 0,
                       "restarts": 0, "learned": 0, "deleted": 0}
 
@@ -354,13 +366,25 @@ class SATSolver:
     # ------------------------------------------------------------------ solve
 
     def solve(self, deadline: float | None = None,
-              conflict_budget: int | None = None) -> SATResult:
-        """Decide satisfiability.
+              conflict_budget: int | None = None,
+              assumptions: Iterable[int] = ()) -> SATResult:
+        """Decide satisfiability, optionally under assumption literals.
 
         ``deadline`` is an absolute :func:`time.monotonic` timestamp;
-        ``conflict_budget`` caps total conflicts.  Exceeding either yields
-        :data:`SATResult.UNKNOWN`.
+        ``conflict_budget`` caps the conflicts of *this call*.  Exceeding
+        either yields :data:`SATResult.UNKNOWN` and records the binding axis
+        in ``stats["budget_axis"]`` (``"time"`` or ``"conflicts"``).
+
+        ``assumptions`` are established as forced decisions before any
+        branching; an UNSAT answer caused by them leaves ``ok`` True,
+        populates :attr:`conflict_assumptions`, and the instance may be
+        queried again.  State from a previous call (a satisfying trail) is
+        unwound first; learned clauses persist.
         """
+        self.stats.pop("budget_axis", None)
+        self._backtrack(0)
+        self._assumptions = list(assumptions)
+        self.conflict_assumptions = []
         if not self.ok:
             return SATResult.UNSAT
         if self._propagate() is not None:
@@ -375,20 +399,65 @@ class SATSolver:
             if res is not None:
                 if res is not SATResult.SAT:
                     self._backtrack(0)
+                if res is SATResult.UNKNOWN:
+                    self.stats["budget_axis"] = "time"
                 return res
             self.stats["restarts"] += 1
             self._backtrack(0)
             if conflict_budget is not None and \
                     self.stats["conflicts"] - start_conflicts > conflict_budget:
+                self.stats["budget_axis"] = "conflicts"
                 return SATResult.UNKNOWN
             if len(self.learnts) > max_learnts:
                 self._reduce_db()
                 max_learnts = int(max_learnts * 1.3)
 
+    def solve_under_assumptions(self, assumptions: Iterable[int],
+                                deadline: float | None = None,
+                                conflict_budget: int | None = None
+                                ) -> SATResult:
+        """:meth:`solve` with the assumption argument first, for callers
+        whose primary axis is the per-query assumption literal."""
+        return self.solve(deadline=deadline, conflict_budget=conflict_budget,
+                          assumptions=assumptions)
+
+    def reset_to_root(self) -> None:
+        """Unwind all decisions (e.g. a satisfying trail) so clauses may be
+        added again.  Root-level facts and learned clauses are kept."""
+        self._backtrack(0)
+
+    def _analyze_final(self, p: int) -> list[int]:
+        """The subset of the current assumptions responsible for literal
+        ``p`` being false (MiniSat's ``analyzeFinal``).
+
+        Called at the point where assumption ``p`` was found falsified, i.e.
+        every decision level on the trail is an assumption level, so every
+        reason-less literal above the root is an assumption decision.
+        """
+        seen = bytearray(self.num_vars)
+        seen[p >> 1] = 1
+        out: list[int] = [p]
+        bound = self.trail_lim[0] if self.trail_lim else len(self.trail)
+        for lit in reversed(self.trail[bound:]):
+            var = lit >> 1
+            if not seen[var]:
+                continue
+            seen[var] = 0
+            reason = self.reasons[var]
+            if reason is None:
+                if var != p >> 1:
+                    out.append(lit)
+            else:
+                for q in reason[1:]:
+                    if self.levels[q >> 1] > 0:
+                        seen[q >> 1] = 1
+        return out
+
     def _search(self, budget: int, deadline: float | None) -> SATResult | None:
         """CDCL until SAT/UNSAT, ``budget`` conflicts (``None`` = restart) or
         the deadline (``UNKNOWN``)."""
         conflicts = 0
+        n_assumptions = len(self._assumptions)
         while True:
             conflict = self._propagate()
             if conflict is not None:
@@ -417,6 +486,19 @@ class SATSolver:
             if deadline is not None and self.stats["decisions"] & 255 == 0 and \
                     time.monotonic() > deadline:
                 return SATResult.UNKNOWN
+            if len(self.trail_lim) < n_assumptions:
+                # Establish the next assumption as a forced decision.
+                p = self._assumptions[len(self.trail_lim)]
+                val = self._value(p)
+                if val == 1:
+                    # Falsified by the clauses plus earlier assumptions:
+                    # UNSAT under assumptions, instance stays usable.
+                    self.conflict_assumptions = self._analyze_final(p)
+                    return SATResult.UNSAT
+                self.trail_lim.append(len(self.trail))
+                if val != 0:
+                    self._enqueue(p, None)
+                continue
             var = self._pick_branch_var()
             if var is None:
                 return SATResult.SAT

@@ -30,18 +30,9 @@ __all__ = ["simplify", "simplify_all", "index_difference"]
 _ARITH_KINDS = frozenset({Kind.BVADD, Kind.BVSUB, Kind.BVNEG, Kind.BVMUL, Kind.BVSHL})
 
 
-def index_difference(i: Term, j: Term) -> int | None:
-    """If ``i - j`` is a constant modulo ``2**w``, return it, else ``None``.
-
-    This is the syntactic disequality test used for read-over-write: a
-    constant non-zero difference proves the indices never alias.
-    """
-    if i is j:
-        return 0
-    sort = i.sort
-    if not isinstance(sort, BitVecSort) or j.sort is not sort:
-        return None
-    diff = poly_add(poly_of(i), poly_neg(poly_of(j), sort.modulus), sort.modulus)
+def _diff_const(ip, jneg, modulus: int) -> int | None:
+    """Constant value of the polynomial sum ``ip + jneg``, else ``None``."""
+    diff = poly_add(ip, jneg, modulus)
     if not diff:
         return 0
     if len(diff) == 1 and () in diff:
@@ -49,13 +40,68 @@ def index_difference(i: Term, j: Term) -> int | None:
     return None
 
 
-def _resolve_select(array: Term, index: Term) -> Term:
+def index_difference(i: Term, j: Term,
+                     memo: dict[tuple[Term, Term], int | None] | None = None
+                     ) -> int | None:
+    """If ``i - j`` is a constant modulo ``2**w``, return it, else ``None``.
+
+    This is the syntactic disequality test used for read-over-write: a
+    constant non-zero difference proves the indices never alias.  ``memo``
+    (optional) caches the answer per ``(i, j)`` pair — one shared dict per
+    :func:`simplify_all` call keeps long store chains from re-deriving the
+    same polynomial differences query after query.
+    """
+    if i is j:
+        return 0
+    if memo is not None:
+        hit = memo.get((i, j), _MISS)
+        if hit is not _MISS:
+            return hit
+    sort = i.sort
+    if not isinstance(sort, BitVecSort) or j.sort is not sort:
+        d = None
+    else:
+        d = _diff_const(poly_of(i), poly_neg(poly_of(j), sort.modulus),
+                        sort.modulus)
+    if memo is not None:
+        memo[(i, j)] = d
+    return d
+
+
+_MISS = object()
+
+
+def _resolve_select(array: Term, index: Term,
+                    memo: dict[tuple[Term, Term], int | None]) -> Term:
     """Push a select through store chains and array-ites as far as syntactic
-    index comparison allows."""
+    index comparison allows.
+
+    The polynomial of ``index`` is derived once and reused against every
+    store in the chain (the walk is linear in chain length, not quadratic in
+    polynomial work), and each ``(write_index, index)`` verdict lands in
+    ``memo`` for the rest of the :func:`simplify_all` call.
+    """
+    sort = index.sort
+    jneg = None
+    pcache: dict[Term, object] = {}
     while True:
         if array.kind == Kind.STORE:
             base, widx, wval = array.args
-            d = index_difference(widx, index)
+            if widx is index:
+                d = 0
+            else:
+                d = memo.get((widx, index), _MISS)
+                if d is _MISS:
+                    if not isinstance(sort, BitVecSort) or \
+                            widx.sort is not sort:
+                        d = None
+                    else:
+                        if jneg is None:
+                            jneg = poly_neg(poly_of(index, pcache),
+                                            sort.modulus)
+                        d = _diff_const(poly_of(widx, pcache), jneg,
+                                        sort.modulus)
+                    memo[(widx, index)] = d
             if d == 0:
                 return wval
             if d is not None:  # provably different cell
@@ -65,15 +111,20 @@ def _resolve_select(array: Term, index: Term) -> Term:
         if array.kind == Kind.ITE:
             cond, then, els = array.args
             return Ite(cond,
-                       _resolve_select(then, index),
-                       _resolve_select(els, index))
+                       _resolve_select(then, index, memo),
+                       _resolve_select(els, index, memo))
         return Select(array, index)
 
 
-def simplify(term: Term, cache: dict[Term, Term] | None = None) -> Term:
+def simplify(term: Term, cache: dict[Term, Term] | None = None, *,
+             index_memo: dict[tuple[Term, Term], int | None] | None = None
+             ) -> Term:
     """Return an equivalent, normalized term (see module docstring)."""
     if cache is None:
         cache = {}
+    if index_memo is None:
+        index_memo = {}
+    memo = index_memo
 
     def finish(t: Term) -> Term:
         """Post-process a node whose children are already simplified.
@@ -90,7 +141,7 @@ def simplify(term: Term, cache: dict[Term, Term] | None = None) -> Term:
             lhs, rhs = normalize_eq(out.args[0], out.args[1])
             out = Eq(lhs, rhs)
         elif k == Kind.SELECT:
-            out = _resolve_select(out.args[0], out.args[1])
+            out = _resolve_select(out.args[0], out.args[1], memo)
         return out
 
     # Explicit stack: deep store chains overflow the C stack otherwise.
@@ -110,7 +161,9 @@ def simplify(term: Term, cache: dict[Term, Term] | None = None) -> Term:
 
 
 def simplify_all(terms: list[Term]) -> list[Term]:
-    """Simplify a list of terms with a shared cache (the assertions of one
-    query overlap heavily, so the shared cache matters)."""
+    """Simplify a list of terms with shared caches (the assertions of one
+    query overlap heavily, so both the term cache and the index-difference
+    memo are shared across the batch)."""
     cache: dict[Term, Term] = {}
-    return [simplify(t, cache) for t in terms]
+    memo: dict[tuple[Term, Term], int | None] = {}
+    return [simplify(t, cache, index_memo=memo) for t in terms]

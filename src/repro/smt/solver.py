@@ -9,10 +9,14 @@ Pipeline per ``check()``:
 5. on SAT, model reconstruction back up through the pipeline (bit values →
    scalar values → array contents via the recorded read indices).
 
-The facade is deliberately non-incremental: each ``check()`` rebuilds the
-CNF.  The paper's workload is one query per verification condition, so
-incrementality buys nothing and non-incrementality keeps every layer
-stateless and testable.
+The facade itself is one-shot: each ``check()`` rebuilds the CNF, which
+keeps every layer stateless and testable.  Batches of related queries go
+faster through :mod:`repro.smt.incremental` (shared-prefix grouping under
+assumption literals) — the dispatcher routes them there when incremental
+mode is on; this facade stays the semantic reference those paths are
+differentially tested against.  ``preprocess=True`` inserts the SatELite
+CNF preprocessing pass between steps 3 and 4, with model reconstruction
+undoing its eliminations.
 """
 
 from __future__ import annotations
@@ -22,7 +26,10 @@ from enum import Enum
 
 from .arrays import eliminate_arrays
 from .bitblast import BitBlaster
+from .cnf import ClauseDB, GateBuilder
 from .model import Model
+from .preprocess import Preprocessor
+from .sat import SATSolver
 from .simplify import simplify_all
 from .sorts import ArraySort
 from .substitute import evaluate
@@ -54,16 +61,22 @@ class Solver:
     validate_models:
         Re-evaluate every original assertion under each model before
         returning it (a soundness net used throughout the test suite).
+    preprocess:
+        Run the SatELite-style CNF preprocessing pass
+        (:mod:`repro.smt.preprocess`) on the blasted clauses before
+        solving; models are reconstructed through the eliminations.
     """
 
     def __init__(self, timeout: float | None = None,
                  conflict_budget: int | None = None,
                  do_simplify: bool = True,
-                 validate_models: bool = False) -> None:
+                 validate_models: bool = False,
+                 preprocess: bool = False) -> None:
         self.timeout = timeout
         self.conflict_budget = conflict_budget
         self.do_simplify = do_simplify
         self.validate_models = validate_models
+        self.preprocess = preprocess
         self.assertions: list[Term] = []
         self._model: Model | None = None
         self.stats: dict[str, object] = {}
@@ -106,11 +119,31 @@ class Solver:
         self.stats["array_time"] = time.monotonic() - elim_start
 
         blast_start = time.monotonic()
-        bb = BitBlaster()
+        pre = None
+        if self.preprocess:
+            bb = BitBlaster(GateBuilder(ClauseDB()))
+        else:
+            bb = BitBlaster()
         for t in flat:
             bb.assert_term(t)
-        sat = bb.gb.sat
         self.stats["blast_time"] = time.monotonic() - blast_start
+        if self.preprocess:
+            db = bb.gb.sat
+            pp_start = time.monotonic()
+            pre = Preprocessor(db.num_vars, db.clauses, [0]).run()
+            self.stats["preprocess_time"] = time.monotonic() - pp_start
+            self.stats.update(pre.stats)
+            sat = SATSolver()
+            for _ in range(db.num_vars):
+                sat.new_var()
+            if db.ok and pre.ok:
+                for clause in pre.output_clauses():
+                    if not sat.add_clause(clause):
+                        break
+            else:
+                sat.ok = False
+        else:
+            sat = bb.gb.sat
         self.stats["clauses"] = len(sat.clauses)
         self.stats["sat_vars"] = sat.num_vars
         if not sat.ok:
@@ -129,8 +162,14 @@ class Solver:
             return CheckResult.UNKNOWN
 
         # -- model reconstruction -------------------------------------------
-        def lit_value(lit: int) -> bool:
-            return sat.model_value(lit >> 1) ^ bool(lit & 1)
+        if pre is not None:
+            values = pre.reconstruct(sat.model_value)
+
+            def lit_value(lit: int) -> bool:
+                return values[lit >> 1] ^ bool(lit & 1)
+        else:
+            def lit_value(lit: int) -> bool:
+                return sat.model_value(lit >> 1) ^ bool(lit & 1)
 
         scalars: dict[Term, object] = {}
         for var, lit in bb.bool_vars.items():
@@ -163,6 +202,8 @@ class Solver:
     def _merge_sat_stats(self, sat) -> None:
         for key in ("decisions", "propagations", "restarts", "learned"):
             self.stats[key] = sat.stats.get(key, 0)
+        if sat.stats.get("budget_axis"):
+            self.stats["budget_axis"] = sat.stats["budget_axis"]
 
     def model(self) -> Model:
         if self._model is None:

@@ -36,7 +36,7 @@ __all__ = [
     "Concat", "Extract", "ZeroExt", "SignExt",
     "Select", "Store",
     "fresh_var", "fresh_name", "fresh_scope", "iter_dag", "term_size",
-    "collect",
+    "collect", "fingerprint", "prefix_fingerprint", "common_prefix_length",
 ]
 
 
@@ -823,3 +823,59 @@ def term_size(*roots: Term) -> int:
 def collect(predicate, *roots: Term) -> list[Term]:
     """All distinct subterms satisfying ``predicate``, in post-order."""
     return [t for t in iter_dag(*roots) if predicate(t)]
+
+
+# -- structural fingerprints ------------------------------------------------------------
+
+#: Memoized digests.  Terms are interned for the process lifetime, so a
+#: plain dict is the right cache shape (no eviction, identity keys).
+_FINGERPRINTS: dict[Term, int] = {}
+
+
+def fingerprint(term: Term) -> int:
+    """A stable 128-bit structural digest of a term DAG.
+
+    Unlike ``tid`` (an interning order, different from process to process),
+    the fingerprint depends only on the term's structure — kind, sort,
+    payload, and child fingerprints — so it is comparable across processes
+    and runs.  The batch dispatcher uses it to group verification
+    conditions that share a leading assertion (the common transition-relation
+    prefix) for incremental solving.
+    """
+    hit = _FINGERPRINTS.get(term)
+    if hit is not None:
+        return hit
+    from hashlib import blake2b
+    for t in iter_dag(term):
+        if t in _FINGERPRINTS:
+            continue
+        h = blake2b(digest_size=16)
+        h.update(t.kind.name.encode())
+        h.update(repr(t.sort).encode())
+        if t.payload is not None:
+            h.update(repr(t.payload).encode())
+        for child in t.args:
+            h.update(_FINGERPRINTS[child].to_bytes(16, "little"))
+        _FINGERPRINTS[t] = int.from_bytes(h.digest(), "little")
+    return _FINGERPRINTS[term]
+
+
+def prefix_fingerprint(terms: Sequence[Term]) -> int:
+    """Digest of an ordered assertion sequence (a candidate shared prefix)."""
+    from hashlib import blake2b
+    h = blake2b(digest_size=16)
+    for t in terms:
+        h.update(fingerprint(t).to_bytes(16, "little"))
+    return int.from_bytes(h.digest(), "little")
+
+
+def common_prefix_length(seqs: Sequence[Sequence[Term]]) -> int:
+    """Length of the longest common leading run of identical assertions."""
+    if not seqs:
+        return 0
+    limit = min(len(s) for s in seqs)
+    first = seqs[0]
+    n = 0
+    while n < limit and all(s[n] is first[n] for s in seqs[1:]):
+        n += 1
+    return n
