@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Benchmark portfolio racing against every fixed solving strategy.
+
+Runs a suite of race and equivalence checks under each fixed strategy the
+dispatcher offers —
+
+* ``oneshot``      — the non-incremental facade (``incremental=False``);
+* ``incremental``  — shared-prefix assumption solving, no preprocessing;
+* ``incremental_preprocess`` — incremental plus the SatELite-style pass;
+
+and then under portfolio racing —
+
+* ``portfolio_serial`` — ``jobs=1``: the arms tried sequentially with
+  early exit (the serial-degradation path);
+* ``portfolio_race``   — ``jobs=2``: arms raced on the worker pool,
+  first conclusive verdict wins (skipped on single-CPU machines, where
+  a race cannot beat sequential execution).
+
+Each cell is run ``--repeats`` times and the minimum wall time is kept.
+Verdicts must be identical across every column; any mismatch fails the
+run — racing may only change *which* equally-correct answer arrives
+first, never the answer.
+
+Writes ``BENCH_portfolio.json`` with per-cell times, verdicts, and the
+portfolio-vs-best-fixed ratio.  ``--check-regression`` fails if the
+``portfolio_race`` column is more than 1.1x slower than the *best* fixed
+strategy on any cell (plus a small absolute slack for sub-second cells).
+The gate needs at least two CPUs to be meaningful and is skipped (with a
+note in the report) otherwise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_portfolio.py [--smoke]
+        [--repeats N] [--check-regression] [-o OUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.check.configs import reduction_assumptions, transpose_assumptions
+from repro.check.equivalence import check_equivalence
+from repro.check.races import check_races
+from repro.kernels import load
+
+TRANSPOSE_CONC = {"bdim": (2, 2, 1), "gdim": (2, 2),
+                  "scalars": {"width": 4, "height": 4}}
+REDUCE_CONC = {"bdim": (8, 1, 1), "gdim": (1, 1)}
+TIMEOUT = 300.0
+PORTFOLIO_WIDTH = 3
+
+#: The fixed single-strategy columns the portfolio is raced against.
+FIXED_MODES = (
+    ("oneshot", {"jobs": 1, "incremental": False, "portfolio": 0}),
+    ("incremental", {"jobs": 1, "incremental": True, "preprocess": False,
+                     "portfolio": 0}),
+    ("incremental_preprocess", {"jobs": 1, "incremental": True,
+                                "preprocess": True, "portfolio": 0}),
+)
+
+#: Regression gate: the pooled race must not exceed
+#: ``RATIO * best_fixed + SLACK`` seconds on any cell.
+REGRESSION_RATIO = 1.1
+REGRESSION_SLACK = 0.2
+
+
+def _portfolio_modes(cpus: int):
+    modes = [("portfolio_serial", {"jobs": 1,
+                                   "portfolio": PORTFOLIO_WIDTH})]
+    if cpus >= 2:
+        modes.append(("portfolio_race", {"jobs": 2,
+                                         "portfolio": PORTFOLIO_WIDTH}))
+    return modes
+
+
+def _suite(smoke: bool):
+    """(name, callable(**mode_kwargs)) pairs — the benchmark workload."""
+    _, naive_t = load("naiveTranspose")
+    _, opt_t = load("optimizedTranspose")
+    _, naive_r = load("naiveReduce")
+    _, opt_r = load("optimizedReduce")
+
+    def races(info, width, builder, conc):
+        return lambda **kw: check_races(
+            info, width, assumption_builder=builder, concretize=conc,
+            timeout=TIMEOUT, cache=False, **kw)
+
+    def equiv_param(src, tgt, width, builder, conc):
+        return lambda **kw: check_equivalence(
+            src, tgt, method="param", width=width,
+            assumption_builder=builder, concretize=conc,
+            timeout=TIMEOUT, cache=False, **kw)
+
+    cells = [
+        ("races/naiveTranspose/w8",
+         races(naive_t, 8, transpose_assumptions, TRANSPOSE_CONC)),
+        ("races/optimizedReduce/w16",
+         races(opt_r, 16, reduction_assumptions, REDUCE_CONC)),
+        ("equiv-param/Reduce/w8",
+         equiv_param(naive_r, opt_r, 8, reduction_assumptions,
+                     REDUCE_CONC)),
+    ]
+    if not smoke:
+        cells += [
+            ("races/optimizedTranspose/w16",
+             races(opt_t, 16, transpose_assumptions, TRANSPOSE_CONC)),
+            ("races/naiveReduce/w32",
+             races(naive_r, 32, reduction_assumptions, REDUCE_CONC)),
+            ("equiv-param/Transpose/w8",
+             equiv_param(naive_t, opt_t, 8, transpose_assumptions,
+                         TRANSPOSE_CONC)),
+        ]
+    return cells
+
+
+def _run_cell(fn, kwargs, repeats: int):
+    best = None
+    outcome = None
+    for _ in range(repeats):
+        start = time.monotonic()
+        outcome = fn(**kwargs)
+        elapsed = time.monotonic() - start
+        best = elapsed if best is None else min(best, elapsed)
+    cell = {"verdict": outcome.verdict.name, "elapsed": round(best, 4),
+            "queries": outcome.stats.get("solver", {}).get("queries", 0)}
+    port = outcome.stats.get("portfolio")
+    if port:
+        cell["races"] = port.get("races", 0)
+        cell["wins"] = port.get("wins", {})
+        cell["wasted_time"] = round(port.get("wasted_time", 0.0), 4)
+    return cell
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output",
+                        default=os.path.join(os.path.dirname(__file__), "..",
+                                             "BENCH_portfolio.json"))
+    parser.add_argument("--smoke", action="store_true",
+                        help="small cell set for CI")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="runs per cell; minimum wall time is kept")
+    parser.add_argument("--check-regression", action="store_true",
+                        help="fail if the pooled race is >1.1x slower "
+                             "than the best fixed strategy on any cell")
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    modes = list(FIXED_MODES) + _portfolio_modes(cpus)
+    fixed_names = [m for m, _ in FIXED_MODES]
+    suite = _suite(args.smoke)
+    report = {"smoke": args.smoke, "repeats": args.repeats, "cpus": cpus,
+              "portfolio_width": PORTFOLIO_WIDTH,
+              "suite_size": len(suite), "cells": {}}
+    totals = {mode: 0.0 for mode, _ in modes}
+
+    for name, fn in suite:
+        cell = {}
+        for mode, kwargs in modes:
+            print(f"{name} [{mode}] ...", flush=True)
+            cell[mode] = _run_cell(fn, kwargs, args.repeats)
+            totals[mode] += cell[mode]["elapsed"]
+        verdicts = {cell[mode]["verdict"] for mode, _ in modes}
+        if len(verdicts) != 1:
+            print(f"VERDICT MISMATCH at {name}: "
+                  + ", ".join(f"{m}={cell[m]['verdict']}"
+                              for m, _ in modes), file=sys.stderr)
+            return 1
+        cell["best_fixed"] = round(
+            min(cell[m]["elapsed"] for m in fixed_names), 4)
+        report["cells"][name] = cell
+
+    report["totals"] = {m: round(t, 4) for m, t in totals.items()}
+    best_fixed_total = sum(c["best_fixed"]
+                           for c in report["cells"].values())
+    report["best_fixed_total"] = round(best_fixed_total, 4)
+    race_total = totals.get("portfolio_race")
+    report["race_vs_best_fixed"] = (
+        round(race_total / best_fixed_total, 3)
+        if race_total and best_fixed_total else None)
+    report["regression_gate"] = ("skipped: fewer than 2 CPUs"
+                                 if cpus < 2 else "eligible")
+
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    for mode, _ in modes:
+        print(f"{mode:24s} {totals[mode]:8.2f}s")
+    print(f"{'best fixed':24s} {best_fixed_total:8.2f}s")
+    print(f"wrote {os.path.abspath(args.output)}")
+
+    if args.check_regression:
+        if cpus < 2:
+            print("regression gate skipped: racing needs >= 2 CPUs")
+            return 0
+        failed = False
+        for name, cell in report["cells"].items():
+            limit = (REGRESSION_RATIO * cell["best_fixed"]
+                     + REGRESSION_SLACK)
+            got = cell["portfolio_race"]["elapsed"]
+            if got > limit:
+                print(f"REGRESSION at {name}: portfolio {got:.2f}s > "
+                      f"{limit:.2f}s (1.1x best fixed + slack)",
+                      file=sys.stderr)
+                failed = True
+        if failed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

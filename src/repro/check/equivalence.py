@@ -39,7 +39,8 @@ def check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
                                cache=None,
                                policy=None,
                                incremental: bool | None = None,
-                               preprocess: bool | None = None
+                               preprocess: bool | None = None,
+                               portfolio: int | None = None
                                ) -> CheckOutcome:
     """Section III baseline: serialize all threads of ``config`` and ask the
     solver for an input on which the outputs differ.
@@ -54,7 +55,7 @@ def check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
             concretize_extent=concretize_extent, timeout=timeout,
             do_simplify=do_simplify, validate=validate, jobs=jobs,
             cache=cache, policy=policy, incremental=incremental,
-            preprocess=preprocess)
+            preprocess=preprocess, portfolio=portfolio)
 
 
 def _check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
@@ -62,7 +63,8 @@ def _check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
                                 concretize_extent, timeout, do_simplify,
                                 validate, jobs, cache,
                                 policy=None, incremental=None,
-                                preprocess=None) -> CheckOutcome:
+                                preprocess=None,
+                                portfolio=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     width = config.width
@@ -108,7 +110,7 @@ def _check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
         Query([*constraints, Or(*differs)], timeout=timeout,
               do_simplify=do_simplify),
         cache=cache, policy=policy, incremental=incremental,
-        preprocess=preprocess)
+        preprocess=preprocess, portfolio=portfolio)
     result = response.verdict
     outcome.vcs_checked = 1
     outcome.solver_time = response.solver_time
@@ -163,7 +165,8 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
                       cache=None,
                       policy=None,
                       incremental: bool | None = None,
-                      preprocess: bool | None = None) -> CheckOutcome:
+                      preprocess: bool | None = None,
+                      portfolio: int | None = None) -> CheckOutcome:
     """Unified entry point.
 
     ``method="param"`` — the paper's parameterized checker: needs ``width``
@@ -186,6 +189,8 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
             opts.incremental = incremental
         if preprocess is not None:
             opts.preprocess = preprocess
+        if portfolio is not None:
+            opts.portfolio = portfolio
         if not validate:
             opts.validate = False
         return check_equivalence_param(
@@ -200,5 +205,6 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
             scalar_values=scalar_values,
             concretize_extent=concretize_extent,
             timeout=timeout, validate=validate, jobs=jobs, cache=cache,
-            policy=policy, incremental=incremental, preprocess=preprocess)
+            policy=policy, incremental=incremental, preprocess=preprocess,
+            portfolio=portfolio)
     raise ValueError(f"unknown method {method!r}")

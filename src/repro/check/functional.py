@@ -160,20 +160,23 @@ def check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
                               cache=None,
                               policy=None,
                               incremental: bool | None = None,
-                              preprocess: bool | None = None
+                              preprocess: bool | None = None,
+                              portfolio: int | None = None
                               ) -> CheckOutcome:
     """Refute the kernel's post-conditions at a concrete geometry."""
     with fresh_scope():
         return _check_functional_nonparam(
             info, config, scalar_values=scalar_values, timeout=timeout,
             validate=validate, jobs=jobs, cache=cache, policy=policy,
-            incremental=incremental, preprocess=preprocess)
+            incremental=incremental, preprocess=preprocess,
+            portfolio=portfolio)
 
 
 def _check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
                                scalar_values, timeout, validate, jobs,
                                cache, policy=None, incremental=None,
-                               preprocess=None) -> CheckOutcome:
+                               preprocess=None,
+                               portfolio=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     width = config.width
@@ -208,7 +211,7 @@ def _check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
         [Query([*constraints, Not(obligation)], timeout=budget)
          for obligation, _ in obligations],
         jobs=jobs, cache=cache, policy=policy, incremental=incremental,
-        preprocess=preprocess)
+        preprocess=preprocess, portfolio=portfolio)
     for response, (obligation, line) in zip(responses, obligations):
         result = response.verdict
         outcome.vcs_checked += 1
@@ -269,7 +272,8 @@ def check_functional_param(info: KernelInfo, width: int, *,
                            cache=None,
                            policy=None,
                            incremental: bool | None = None,
-                           preprocess: bool | None = None) -> CheckOutcome:
+                           preprocess: bool | None = None,
+                           portfolio: int | None = None) -> CheckOutcome:
     """Parameterized post-condition checking (loop-free kernels).
 
     The post-condition's array reads are resolved through the kernel's CAs
@@ -281,14 +285,15 @@ def check_functional_param(info: KernelInfo, width: int, *,
             info, width, assumption_builder=assumption_builder,
             concretize=concretize, timeout=timeout, bughunt=bughunt,
             validate=validate, jobs=jobs, cache=cache, policy=policy,
-            incremental=incremental, preprocess=preprocess)
+            incremental=incremental, preprocess=preprocess,
+            portfolio=portfolio)
 
 
 def _check_functional_param(info: KernelInfo, width: int, *,
                             assumption_builder, concretize, timeout,
                             bughunt, validate, jobs, cache,
                             policy=None, incremental=None,
-                            preprocess=None) -> CheckOutcome:
+                            preprocess=None, portfolio=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     geometry = Geometry.create(width)
@@ -337,7 +342,7 @@ def _check_functional_param(info: KernelInfo, width: int, *,
         response = solve_query(
             Query([*assumptions, *premises, Not(And(*obligations))],
                   timeout=budget()),
-            cache=cache, policy=policy)
+            cache=cache, policy=policy, portfolio=portfolio)
         outcome.vcs_checked += 1
         outcome.solver_time += response.solver_time
         outcome.merge_solver_stats(response.stats)
@@ -408,7 +413,8 @@ def _check_functional_param(info: KernelInfo, width: int, *,
                 [Query([*assumptions, *case.constraints, Not(case.value)],
                        timeout=budget()) for case in cases],
                 jobs=jobs, cache=cache, policy=policy,
-                incremental=incremental, preprocess=preprocess)
+                incremental=incremental, preprocess=preprocess,
+                portfolio=portfolio)
             for response in responses:
                 outcome.vcs_checked += 1
                 outcome.solver_time += response.solver_time

@@ -163,6 +163,13 @@ def main(argv: list[str] | None = None) -> int:
                             "incremental groups (default: "
                             "PUGPARA_PREPROCESS, on); --no-preprocess "
                             "disables it")
+        p.add_argument("--portfolio", type=int, nargs="?", const=3,
+                       default=None, metavar="N",
+                       help="race each VC across N diversified "
+                            "strategy/heuristic arms, first conclusive "
+                            "verdict wins (N defaults to 3; default: "
+                            "PUGPARA_PORTFOLIO, off; at --jobs 1 the arms "
+                            "run sequentially with early exit)")
         p.add_argument("--stats", action="store_true",
                        help="print accumulated solver statistics "
                             "(conflicts, decisions, phase times, cache hits)")
@@ -244,6 +251,7 @@ def _dispatch(args) -> int:
     validate = getattr(args, "validate_cex", True)
     incremental = getattr(args, "incremental", None)
     preprocess = getattr(args, "preprocess", None)
+    portfolio = getattr(args, "portfolio", None)
 
     def report(outcome) -> int:
         print(outcome)
@@ -269,14 +277,15 @@ def _dispatch(args) -> int:
                                      jobs=jobs, cache=cache,
                                      policy=policy,
                                      incremental=incremental,
-                                     preprocess=preprocess))
+                                     preprocess=preprocess,
+                                     portfolio=portfolio))
         else:
             outcome = check_equivalence(
                 src, tgt, method="nonparam", config=_config(args),
                 scalar_values=_parse_sets(args.set) or None,
                 timeout=args.timeout, validate=validate, jobs=jobs,
                 cache=cache, policy=policy, incremental=incremental,
-                preprocess=preprocess)
+                preprocess=preprocess, portfolio=portfolio)
         return report(outcome)
 
     if args.command == "func":
@@ -287,14 +296,14 @@ def _dispatch(args) -> int:
                 assumption_builder=builder, concretize=_concretize(args),
                 timeout=args.timeout, validate=validate, jobs=jobs,
                 cache=cache, policy=policy, incremental=incremental,
-                preprocess=preprocess)
+                preprocess=preprocess, portfolio=portfolio)
         else:
             outcome = check_functional(
                 info, method="nonparam", config=_config(args),
                 scalar_values=_parse_sets(args.set) or None,
                 timeout=args.timeout, validate=validate, jobs=jobs,
                 cache=cache, policy=policy, incremental=incremental,
-                preprocess=preprocess)
+                preprocess=preprocess, portfolio=portfolio)
         return report(outcome)
 
     if args.command == "races":
@@ -305,7 +314,7 @@ def _dispatch(args) -> int:
                               timeout=args.timeout, validate=validate,
                               jobs=jobs, cache=cache, policy=policy,
                               incremental=incremental,
-                              preprocess=preprocess)
+                              preprocess=preprocess, portfolio=portfolio)
         return report(outcome)
 
     if args.command == "run":

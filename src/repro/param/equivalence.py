@@ -70,6 +70,7 @@ class ParamOptions:
     policy: object = None               # UNKNOWN retry policy (None = env)
     incremental: bool | None = None     # shared-prefix batch solving
     preprocess: bool | None = None      # CNF preprocessing in groups
+    portfolio: int | None = None        # first-wins strategy racing width
 
 
 @dataclass
@@ -106,7 +107,8 @@ class _Run:
         response = solve_query(
             Query(terms, timeout=self.budget(),
                   do_simplify=self.options.simplify),
-            cache=self.options.cache, policy=self.options.policy)
+            cache=self.options.cache, policy=self.options.policy,
+            portfolio=self.options.portfolio)
         self.account(response)
         return response.verdict, response
 
@@ -352,7 +354,8 @@ class _GroupChecker:
                 jobs=run.options.jobs, cache=run.options.cache,
                 policy=run.options.policy,
                 incremental=run.options.incremental,
-                preprocess=run.options.preprocess)
+                preprocess=run.options.preprocess,
+                portfolio=run.options.portfolio)
             for response in responses:
                 run.account(response)
             return responses

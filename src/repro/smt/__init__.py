@@ -17,7 +17,9 @@ Layers (bottom-up):
 - :mod:`repro.smt.preprocess` — SatELite-style CNF preprocessing;
 - :mod:`repro.smt.solver` — the one-shot facade tying it together;
 - :mod:`repro.smt.incremental` / :mod:`repro.smt.dispatch` — shared-prefix
-  incremental batch solving and the resilient parallel runtime.
+  incremental batch solving and the resilient parallel runtime;
+- :mod:`repro.smt.portfolio` — diversified strategy arms raced first-wins
+  by the dispatcher under cooperative cancellation.
 """
 
 from .sorts import ARRAY, BOOL, BV, ArraySort, BitVecSort, Sort
@@ -34,13 +36,18 @@ from .simplify import simplify, simplify_all
 from .substitute import evaluate, substitute
 from .printer import script_smtlib, to_smtlib, to_str
 from .model import Model
+from .sat import SATConfig
 from .solver import CheckResult, Solver, check_valid, is_satisfiable
 from .preprocess import Preprocessor, preprocess
 from .incremental import GroupResult, plan_groups, solve_group
 from .qcache import QueryCache, canonical_key, canonicalize
+from .portfolio import (
+    ArmSpec, default_ladder, default_width, effective_width, run_arm,
+)
 from .dispatch import (
     Query, QueryResult, default_cache, default_incremental, default_jobs,
-    default_preprocess, resolve_cache, solve_all, solve_query,
+    default_portfolio, default_preprocess, resolve_cache, solve_all,
+    solve_query,
 )
 from .resilience import ESCALATIONS, RetryPolicy, default_policy
 from .faults import FaultPlan, InjectedFault
@@ -62,10 +69,14 @@ __all__ = [
     # printing
     "script_smtlib", "to_smtlib", "to_str",
     # solving
-    "CheckResult", "Model", "Solver", "check_valid", "is_satisfiable",
+    "CheckResult", "Model", "SATConfig", "Solver", "check_valid",
+    "is_satisfiable",
     # preprocessing + incremental batches
     "Preprocessor", "preprocess",
     "GroupResult", "plan_groups", "solve_group",
+    # portfolio racing
+    "ArmSpec", "default_ladder", "default_portfolio", "default_width",
+    "effective_width", "run_arm",
     # caching + dispatch
     "QueryCache", "canonical_key", "canonicalize",
     "Query", "QueryResult", "default_cache", "default_incremental",

@@ -8,7 +8,12 @@ failure points and a :class:`FaultPlan` describing which faults to inject:
 * ``worker_crash``   — a worker process dies mid-query (``os._exit``);
 * ``solver_exception`` — a solve raises an :class:`InjectedFault`;
 * ``delay``          — an artificial stall before solving;
-* ``corrupt_cache``  — a disk-cache write is garbled before it lands.
+* ``corrupt_cache``  — a disk-cache write is garbled before it lands;
+* ``arm_hang``       — a portfolio arm wedges (a long sleep that ignores
+  the cooperative cancel token), exercising the supervisor's escalation
+  from cancel to hard worker kill;
+* ``cancel_ignored`` — an arm runs with its cancel token disconnected, so
+  only its own budget or the supervisor's deadline can stop it.
 
 Decisions are **deterministic**: whether a fault fires at a given site is a
 pure function of ``(seed, site, key, salt)`` — a sha256-derived fraction
@@ -38,8 +43,8 @@ from ..errors import SolverError
 
 __all__ = [
     "FAULTS_ENV", "FaultPlan", "InjectedFault", "active", "clear",
-    "corrupt_bytes", "install", "injected", "maybe_crash", "maybe_delay",
-    "maybe_raise",
+    "corrupt_bytes", "ignores_cancel", "install", "injected", "maybe_crash",
+    "maybe_delay", "maybe_hang", "maybe_raise",
 ]
 
 #: Environment variable holding an ambient fault-plan spec.
@@ -68,7 +73,10 @@ class FaultPlan:
     solver_exception: float = 0.0
     delay: float = 0.0
     corrupt_cache: float = 0.0
+    arm_hang: float = 0.0
+    cancel_ignored: float = 0.0
     delay_seconds: float = 0.005
+    hang_seconds: float = 30.0
     max_triggers: int | None = None
 
     # -- deterministic decisions --------------------------------------
@@ -187,6 +195,24 @@ def maybe_crash(plan: FaultPlan | None, key: str, salt: int = 0) -> None:
     if plan is not None and plan.decide("worker.crash", key, salt,
                                         plan.worker_crash):
         os._exit(CRASH_EXIT_STATUS)
+
+
+def maybe_hang(plan: FaultPlan | None, key: str, salt: int = 0) -> None:
+    """Wedge the current portfolio arm: sleep for ``hang_seconds`` in short
+    slices, *ignoring* the cooperative cancel token (that is the point —
+    the supervisor must escalate to a hard kill).  Sliced so an unfaulted
+    interactive run is still interruptible by SIGKILL quickly."""
+    if plan is not None and plan.decide("arm.hang", key, salt,
+                                        plan.arm_hang):
+        deadline = time.monotonic() + plan.hang_seconds
+        while time.monotonic() < deadline:
+            time.sleep(0.02)
+
+
+def ignores_cancel(plan: FaultPlan | None, key: str, salt: int = 0) -> bool:
+    """Whether this arm should run with its cancel token disconnected."""
+    return plan is not None and plan.decide("arm.cancel_ignored", key, salt,
+                                            plan.cancel_ignored)
 
 
 def corrupt_bytes(plan: FaultPlan | None, key: str, data: bytes) -> bytes:

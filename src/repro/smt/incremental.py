@@ -38,14 +38,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from .arrays import ArrayEliminator
 from .bitblast import BitBlaster
 from .cnf import ClauseDB, GateBuilder
 from .model import Model
 from .preprocess import Preprocessor
-from .sat import SATResult, SATSolver
+from .sat import SATConfig, SATResult, SATSolver
 from .simplify import simplify
 from .solver import CheckResult
 from .substitute import evaluate
@@ -98,14 +98,20 @@ def solve_group(prefix: Sequence[Term],
                 do_simplify: bool = True,
                 preprocess: bool = True,
                 validate_models: bool = False,
-                originals: Sequence[Sequence[Term]] | None = None
+                originals: Sequence[Sequence[Term]] | None = None,
+                sat_config: SATConfig | None = None,
+                cancel: Callable[[], bool] | None = None
                 ) -> list[GroupResult]:
     """Solve ``prefix + residuals[i]`` for every ``i`` incrementally.
 
     Verdicts are identical to running the one-shot facade on each
     ``prefix + residual`` (modulo budget-induced UNKNOWNs, which stay
     one-sided).  ``originals`` supplies the untouched assertion lists used
-    for model validation when ``validate_models`` is set.
+    for model validation when ``validate_models`` is set.  ``sat_config``
+    diversifies the shared CDCL instance (portfolio arms); ``cancel`` is
+    polled before each member solve and inside the CDCL loop — on
+    cancellation the remaining members answer UNKNOWN with
+    ``stats["cancelled"]`` set (and no budget axis).
     """
     n = len(residuals)
     setup_start = time.monotonic()
@@ -204,7 +210,7 @@ def solve_group(prefix: Sequence[Term],
         clauses = pre.output_clauses()
     preprocess_time = time.monotonic() - pp_start
 
-    sat = SATSolver()
+    sat = SATSolver(sat_config)
     for _ in range(db.num_vars):
         sat.new_var()
     for clause in clauses:
@@ -232,6 +238,15 @@ def solve_group(prefix: Sequence[Term],
             continue
         stats = dict(base_stats)
         stats["setup_share"] = setup_time / open_count
+        if cancel is not None and cancel():
+            stats["cancelled"] = True
+            stats["sat_time"] = 0.0
+            stats["time"] = stats["setup_share"]
+            for key in ("conflicts", "decisions", "propagations",
+                        "restarts", "learned"):
+                stats[key] = 0
+            results[i] = (CheckResult.UNKNOWN, None, stats)
+            continue
         before = dict(sat.stats)
         assumptions = [guards[i]] if guards[i] is not None else []
         solve_start = time.monotonic()
@@ -254,7 +269,8 @@ def solve_group(prefix: Sequence[Term],
             continue
         res = sat.solve(deadline=deadline,
                         conflict_budget=conflict_budgets[i],
-                        assumptions=assumptions)
+                        assumptions=assumptions,
+                        cancel=cancel)
         stats["sat_time"] = time.monotonic() - solve_start
         for key in ("conflicts", "decisions", "propagations", "restarts",
                     "learned"):
@@ -265,7 +281,10 @@ def solve_group(prefix: Sequence[Term],
             results[i] = (CheckResult.UNSAT, None, stats)
             continue
         if res is SATResult.UNKNOWN:
-            stats["budget_axis"] = sat.stats.get("budget_axis", "time")
+            if sat.stats.get("cancelled"):
+                stats["cancelled"] = True
+            else:
+                stats["budget_axis"] = sat.stats.get("budget_axis", "time")
             results[i] = (CheckResult.UNKNOWN, None, stats)
             continue
         # SAT: reconstruct the model through the preprocessor, then up

@@ -1,0 +1,171 @@
+"""Portfolio arms: diversified solving strategies raced first-wins.
+
+One verification condition can be solved many ways — the one-shot facade,
+the shared-prefix incremental path, either with or without the SatELite
+CNF preprocessing pass — and each way under many CDCL heuristic
+configurations (VSIDS decay, restart schedule, phase-saving polarity,
+random decision seed).  Solve times across these axes differ by orders of
+magnitude on the paper's benchmarks, and which combination wins is not
+predictable up front.  A *portfolio* hedges: launch a small ladder of
+diversified arms, take the first conclusive verdict (SAT/UNSAT), cancel
+the losers.  ``UNKNOWN`` is only the portfolio's answer when *every* arm
+exhausts its budget.
+
+This module defines the arms; :mod:`repro.smt.dispatch` owns the racing —
+the worker pool, the shared cancel token, the supervisor that escalates
+from cooperative cancel to hard worker kill.
+
+Soundness of first-wins: every arm decides the *same* formula (the
+incremental strategy solves ``prefix ∧ residual`` with the query itself
+split at the last assertion, which the incremental module's assumption
+protocol keeps equisatisfiable with the one-shot conjunction), and every
+arm is individually sound — SAT comes with a model over the original
+terms, UNSAT from a refutation-complete CDCL run.  Racing therefore never
+changes a verdict, only which (equally correct) verdict arrives first;
+models may legitimately differ between arms on formulas with several
+satisfying assignments, but the winner's model is always a model.
+
+Arm 0 is always the **baseline** — the exact strategy and CDCL
+configuration the non-portfolio dispatcher uses — so serial degradation
+(jobs=1: arms tried sequentially with early exit) is bit-identical to
+portfolio-off solving whenever the baseline answers conclusively.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .incremental import solve_group
+from .model import Model
+from .sat import SATConfig
+from .solver import CheckResult, Solver
+from .terms import Term
+
+__all__ = ["ArmSpec", "MAX_WIDTH", "STRATEGIES", "default_ladder",
+           "default_width", "effective_width", "run_arm"]
+
+#: The recognised per-arm solving strategies.
+STRATEGIES = ("oneshot", "preprocess", "incremental",
+              "incremental+preprocess")
+
+#: The widest portfolio the ladder defines (ISSUE: 2-4 arms).
+MAX_WIDTH = 4
+
+#: Environment variable selecting the default portfolio width.
+PORTFOLIO_ENV = "PUGPARA_PORTFOLIO"
+
+
+@dataclass(frozen=True)
+class ArmSpec:
+    """One diversified attempt: a solving strategy and a CDCL config."""
+    name: str
+    strategy: str = "oneshot"
+    config: SATConfig = field(default_factory=SATConfig)
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown arm strategy {self.strategy!r}; "
+                f"expected one of {STRATEGIES}")
+
+
+#: The fixed diversification ladder, best-guess-first.  Arm 0 must stay the
+#: baseline (see module docstring); the rest spread across both axes —
+#: strategy and CDCL heuristics — so a pathology for one configuration is
+#: unlikely to afflict all of them.
+_LADDER: tuple[ArmSpec, ...] = (
+    ArmSpec("baseline", "oneshot", SATConfig()),
+    ArmSpec("inc-pre-geo", "incremental+preprocess",
+            SATConfig(restart_schedule="geometric", restart_factor=1.5,
+                      seed=1, random_freq=0.02)),
+    ArmSpec("pre-negphase", "preprocess",
+            SATConfig(var_decay=0.90, default_phase=0, seed=2,
+                      random_freq=0.05)),
+    ArmSpec("inc-agile", "incremental",
+            SATConfig(var_decay=0.99, restart_base=50, seed=3,
+                      random_freq=0.10)),
+)
+
+
+def default_ladder(width: int) -> list[ArmSpec]:
+    """The first ``width`` arms of the ladder (clamped to 1..MAX_WIDTH)."""
+    return list(_LADDER[:max(1, min(width, MAX_WIDTH))])
+
+
+def default_width() -> int | None:
+    """Portfolio width from ``PUGPARA_PORTFOLIO`` (None = portfolio off).
+
+    Mirrors :func:`~repro.smt.dispatch.default_jobs`: a malformed value
+    degrades to portfolio-off with a warning, never a crash.
+    """
+    raw = os.environ.get(PORTFOLIO_ENV)
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        width = int(raw)
+    except ValueError:
+        warnings.warn(f"{PORTFOLIO_ENV}={raw!r} is not an integer; "
+                      "portfolio solving stays off", RuntimeWarning,
+                      stacklevel=2)
+        return None
+    if width < 2:
+        return None
+    return min(width, MAX_WIDTH)
+
+
+def effective_width(width: int, jobs: int) -> int:
+    """Clamp a requested width to the ladder and the worker pool.
+
+    With ``jobs >= 2`` arms share the existing pool without
+    oversubscription, so the race is at most ``jobs`` wide.  With
+    ``jobs == 1`` there is no pool to share — the dispatcher degrades to
+    *serial* mode (arms tried sequentially with early exit), where the
+    full requested width stays meaningful.
+    """
+    width = max(1, min(width, MAX_WIDTH))
+    if jobs >= 2:
+        width = min(width, jobs)
+    return width
+
+
+def run_arm(spec: ArmSpec, terms: Sequence[Term], *,
+            timeout: float | None, conflict_budget: int | None,
+            do_simplify: bool = True, validate_models: bool = False,
+            cancel: Callable[[], bool] | None = None
+            ) -> tuple[CheckResult, Model | None, dict]:
+    """Solve one query with one arm's strategy and CDCL configuration.
+
+    The incremental strategies route through
+    :func:`~repro.smt.incremental.solve_group` with the query split at its
+    last assertion (prefix = all but the last, residual = the last), which
+    exercises the assumption-literal machinery on a genuinely different
+    CNF than the one-shot blast; queries too short to split degrade to
+    one-shot.  ``cancel`` reaches the CDCL loop of every strategy.
+    """
+    strategy = spec.strategy
+    if strategy.startswith("incremental") and len(terms) >= 2:
+        group = solve_group(
+            list(terms[:-1]), [list(terms[-1:])],
+            timeouts=[timeout], conflict_budgets=[conflict_budget],
+            do_simplify=do_simplify,
+            preprocess=strategy.endswith("preprocess"),
+            validate_models=validate_models,
+            originals=[list(terms)],
+            sat_config=spec.config, cancel=cancel)
+        verdict, model, stats = group[0]
+    else:
+        solver = Solver(timeout=timeout, conflict_budget=conflict_budget,
+                        do_simplify=do_simplify,
+                        validate_models=validate_models,
+                        preprocess=strategy.endswith("preprocess"),
+                        sat_config=spec.config, cancel=cancel)
+        solver.add(*terms)
+        verdict = solver.check()
+        model = solver.model() if verdict is CheckResult.SAT else None
+        stats = dict(solver.stats)
+    stats = dict(stats)
+    stats["strategy"] = strategy
+    return verdict, model, stats

@@ -21,19 +21,95 @@ parts once.  An UNSAT answer under assumptions does not poison the instance
 subset of assumptions the final conflict depends on.  Time and conflict
 budgets return ``UNKNOWN`` and record which axis was binding in
 ``stats["budget_axis"]``; the checkers report that as the paper's ``T.O``.
+
+Two extensions serve the portfolio runtime (:mod:`repro.smt.portfolio`):
+
+* **Diversification** — a :class:`SATConfig` parameterizes the CDCL
+  heuristics (VSIDS decay, restart schedule, phase-saving polarity, a
+  deterministic decision-randomization seed).  The default config
+  reproduces the historical behaviour bit for bit; any config is sound
+  and complete, so diversified instances may disagree only on *which*
+  model they find, never on the verdict.
+* **Cooperative cancellation** — :meth:`SATSolver.solve` accepts a
+  ``cancel`` callable, polled at the same cadence as the deadline (every
+  128 conflicts, every 256 decisions, and at every restart).  When it
+  returns True the solve abandons search with ``UNKNOWN`` and sets
+  ``stats["cancelled"]`` — no budget axis is recorded, so a cancelled
+  attempt is never mistaken for budget exhaustion.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from enum import Enum
 from heapq import heappush, heappop
-from typing import Iterable
+from typing import Callable, Iterable
 
 from .luby import luby
 from ...errors import SolverError
 
-__all__ = ["SATSolver", "SATResult"]
+__all__ = ["SATSolver", "SATResult", "SATConfig", "RESTART_SCHEDULES"]
+
+#: Recognised restart schedules for :class:`SATConfig`.
+RESTART_SCHEDULES = ("luby", "geometric")
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class SATConfig:
+    """CDCL heuristic configuration — the portfolio's diversification axes.
+
+    The defaults reproduce the solver's historical behaviour exactly, so
+    ``SATSolver()`` and ``SATSolver(SATConfig())`` are indistinguishable.
+
+    Parameters
+    ----------
+    var_decay:
+        VSIDS activity decay (activities are *divided* by this per
+        conflict; smaller = more aggressive focus on recent conflicts).
+    clause_decay:
+        Learned-clause activity decay.
+    restart_base:
+        Conflicts allowed before the first restart.
+    restart_schedule:
+        ``"luby"`` (restart ``i`` gets ``restart_base * luby(i)``) or
+        ``"geometric"`` (``restart_base * restart_factor ** (i - 1)``).
+    restart_factor:
+        Growth base of the geometric schedule.
+    default_phase:
+        Initial saved polarity of fresh variables: ``1`` decides False
+        first (MiniSat's default), ``0`` decides True first.
+    seed:
+        When not None, enables deterministic decision-polarity
+        randomization (an xorshift64* stream — no global RNG state).
+    random_freq:
+        Fraction of decisions whose polarity is flipped at random
+        (only with ``seed`` set).
+    """
+    var_decay: float = 0.95
+    clause_decay: float = 0.999
+    restart_base: int = 100
+    restart_schedule: str = "luby"
+    restart_factor: float = 1.5
+    default_phase: int = 1
+    seed: int | None = None
+    random_freq: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.restart_schedule not in RESTART_SCHEDULES:
+            raise SolverError(
+                f"unknown restart schedule {self.restart_schedule!r}; "
+                f"expected one of {RESTART_SCHEDULES}")
+        if not 0.0 < self.var_decay <= 1.0:
+            raise SolverError("var_decay must be in (0, 1]")
+        if self.default_phase not in (0, 1):
+            raise SolverError("default_phase must be 0 or 1")
+
+
+#: The configuration every solver uses unless told otherwise.
+DEFAULT_CONFIG = SATConfig()
 
 
 class SATResult(Enum):
@@ -57,7 +133,8 @@ class SATSolver:
         assert s.solve() is SATResult.SAT
     """
 
-    def __init__(self) -> None:
+    def __init__(self, config: SATConfig | None = None) -> None:
+        self.config = config if config is not None else DEFAULT_CONFIG
         self.num_vars = 0
         # Per-variable state.
         self.assigns: list[int] = []
@@ -75,12 +152,15 @@ class SATSolver:
         self.trail: list[int] = []
         self.trail_lim: list[int] = []
         self.qhead = 0
-        # Heuristic state (VSIDS with a lazy heap).
+        # Heuristic state (VSIDS with a lazy heap), set by the config.
         self.var_inc = 1.0
-        self.var_decay = 1.0 / 0.95
+        self.var_decay = 1.0 / self.config.var_decay
         self.cla_inc = 1.0
-        self.cla_decay = 1.0 / 0.999
+        self.cla_decay = 1.0 / self.config.clause_decay
         self.order_heap: list[tuple[float, int]] = []
+        # Deterministic decision-randomization stream (xorshift64*); no
+        # global RNG state, so parallel instances never interfere.
+        self._rng = ((self.config.seed or 0) * 2 + 1) & _MASK64
         self.ok = True
         # Assumption state for the current/most recent incremental solve.
         self._assumptions: list[int] = []
@@ -100,7 +180,7 @@ class SATSolver:
         self.levels.append(0)
         self.reasons.append(None)
         self.activity.append(0.0)
-        self.phase.append(1)  # default: decide variables to False first
+        self.phase.append(self.config.default_phase)
         self.watches.append([])
         self.watches.append([])
         heappush(self.order_heap, (0.0, v))
@@ -365,15 +445,39 @@ class SATSolver:
 
     # ------------------------------------------------------------------ solve
 
+    def _rand(self) -> float:
+        """Next deterministic fraction in [0, 1) (xorshift64*)."""
+        x = self._rng
+        x ^= (x << 13) & _MASK64
+        x ^= x >> 7
+        x ^= (x << 17) & _MASK64
+        self._rng = x
+        return ((x * 0x2545F4914F6CDD1D) & _MASK64) / float(1 << 64)
+
+    def _restart_budget(self, restart_num: int) -> int:
+        cfg = self.config
+        if cfg.restart_schedule == "geometric":
+            return max(1, int(cfg.restart_base
+                              * cfg.restart_factor ** (restart_num - 1)))
+        return cfg.restart_base * luby(restart_num)
+
     def solve(self, deadline: float | None = None,
               conflict_budget: int | None = None,
-              assumptions: Iterable[int] = ()) -> SATResult:
+              assumptions: Iterable[int] = (),
+              cancel: Callable[[], bool] | None = None) -> SATResult:
         """Decide satisfiability, optionally under assumption literals.
 
         ``deadline`` is an absolute :func:`time.monotonic` timestamp;
         ``conflict_budget`` caps the conflicts of *this call*.  Exceeding
         either yields :data:`SATResult.UNKNOWN` and records the binding axis
         in ``stats["budget_axis"]`` (``"time"`` or ``"conflicts"``).
+
+        ``cancel`` is a zero-argument callable polled alongside the
+        deadline (every 128 conflicts / 256 decisions and at every
+        restart).  When it returns True the solve gives up cooperatively:
+        the answer is :data:`SATResult.UNKNOWN` with ``stats["cancelled"]``
+        set and *no* budget axis — a cancelled race arm must never
+        masquerade as budget exhaustion.
 
         ``assumptions`` are established as forced decisions before any
         branching; an UNSAT answer caused by them leaves ``ok`` True,
@@ -382,6 +486,7 @@ class SATSolver:
         unwound first; learned clauses persist.
         """
         self.stats.pop("budget_axis", None)
+        self.stats.pop("cancelled", None)
         self._backtrack(0)
         self._assumptions = list(assumptions)
         self.conflict_assumptions = []
@@ -395,11 +500,17 @@ class SATSolver:
         max_learnts = max(2000, len(self.clauses))
         while True:
             restart_num += 1
-            res = self._search(100 * luby(restart_num), deadline)
+            if cancel is not None and cancel():
+                self.stats["cancelled"] = True
+                self._backtrack(0)
+                return SATResult.UNKNOWN
+            res = self._search(self._restart_budget(restart_num), deadline,
+                               cancel)
             if res is not None:
                 if res is not SATResult.SAT:
                     self._backtrack(0)
-                if res is SATResult.UNKNOWN:
+                if res is SATResult.UNKNOWN and \
+                        not self.stats.get("cancelled"):
                     self.stats["budget_axis"] = "time"
                 return res
             self.stats["restarts"] += 1
@@ -414,12 +525,13 @@ class SATSolver:
 
     def solve_under_assumptions(self, assumptions: Iterable[int],
                                 deadline: float | None = None,
-                                conflict_budget: int | None = None
+                                conflict_budget: int | None = None,
+                                cancel: Callable[[], bool] | None = None
                                 ) -> SATResult:
         """:meth:`solve` with the assumption argument first, for callers
         whose primary axis is the per-query assumption literal."""
         return self.solve(deadline=deadline, conflict_budget=conflict_budget,
-                          assumptions=assumptions)
+                          assumptions=assumptions, cancel=cancel)
 
     def reset_to_root(self) -> None:
         """Unwind all decisions (e.g. a satisfying trail) so clauses may be
@@ -453,9 +565,11 @@ class SATSolver:
                         seen[q >> 1] = 1
         return out
 
-    def _search(self, budget: int, deadline: float | None) -> SATResult | None:
-        """CDCL until SAT/UNSAT, ``budget`` conflicts (``None`` = restart) or
-        the deadline (``UNKNOWN``)."""
+    def _search(self, budget: int, deadline: float | None,
+                cancel: Callable[[], bool] | None = None
+                ) -> SATResult | None:
+        """CDCL until SAT/UNSAT, ``budget`` conflicts (``None`` = restart),
+        the deadline, or a cooperative cancel (``UNKNOWN``)."""
         conflicts = 0
         n_assumptions = len(self._assumptions)
         while True:
@@ -479,13 +593,20 @@ class SATSolver:
                 self.cla_inc *= self.cla_decay
                 if conflicts >= budget:
                     return None
-                if deadline is not None and conflicts & 127 == 0 and \
-                        time.monotonic() > deadline:
-                    return SATResult.UNKNOWN
+                if conflicts & 127 == 0:
+                    if cancel is not None and cancel():
+                        self.stats["cancelled"] = True
+                        return SATResult.UNKNOWN
+                    if deadline is not None and \
+                            time.monotonic() > deadline:
+                        return SATResult.UNKNOWN
                 continue
-            if deadline is not None and self.stats["decisions"] & 255 == 0 and \
-                    time.monotonic() > deadline:
-                return SATResult.UNKNOWN
+            if self.stats["decisions"] & 255 == 0:
+                if cancel is not None and cancel():
+                    self.stats["cancelled"] = True
+                    return SATResult.UNKNOWN
+                if deadline is not None and time.monotonic() > deadline:
+                    return SATResult.UNKNOWN
             if len(self.trail_lim) < n_assumptions:
                 # Establish the next assumption as a forced decision.
                 p = self._assumptions[len(self.trail_lim)]
@@ -504,7 +625,12 @@ class SATSolver:
                 return SATResult.SAT
             self.stats["decisions"] += 1
             self.trail_lim.append(len(self.trail))
-            self._enqueue((var << 1) | self.phase[var], None)
+            phase = self.phase[var]
+            cfg = self.config
+            if cfg.random_freq and cfg.seed is not None and \
+                    self._rand() < cfg.random_freq:
+                phase ^= 1
+            self._enqueue((var << 1) | phase, None)
 
     # ------------------------------------------------------------------ model
 

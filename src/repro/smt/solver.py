@@ -23,13 +23,14 @@ from __future__ import annotations
 
 import time
 from enum import Enum
+from typing import Callable
 
 from .arrays import eliminate_arrays
 from .bitblast import BitBlaster
 from .cnf import ClauseDB, GateBuilder
 from .model import Model
 from .preprocess import Preprocessor
-from .sat import SATSolver
+from .sat import SATConfig, SATSolver
 from .simplify import simplify_all
 from .sorts import ArraySort
 from .substitute import evaluate
@@ -65,18 +66,31 @@ class Solver:
         Run the SatELite-style CNF preprocessing pass
         (:mod:`repro.smt.preprocess`) on the blasted clauses before
         solving; models are reconstructed through the eliminations.
+    sat_config:
+        CDCL heuristic configuration (:class:`~repro.smt.sat.SATConfig`)
+        for the underlying SAT core — the portfolio's diversification
+        handle.  ``None`` keeps the historical defaults bit for bit.
+    cancel:
+        Zero-argument callable polled between pipeline phases and inside
+        the CDCL search loop; when it returns True the check abandons
+        work and answers ``UNKNOWN`` with ``stats["cancelled"]`` set
+        (never a budget axis — cancellation is not exhaustion).
     """
 
     def __init__(self, timeout: float | None = None,
                  conflict_budget: int | None = None,
                  do_simplify: bool = True,
                  validate_models: bool = False,
-                 preprocess: bool = False) -> None:
+                 preprocess: bool = False,
+                 sat_config: SATConfig | None = None,
+                 cancel: Callable[[], bool] | None = None) -> None:
         self.timeout = timeout
         self.conflict_budget = conflict_budget
         self.do_simplify = do_simplify
         self.validate_models = validate_models
         self.preprocess = preprocess
+        self.sat_config = sat_config
+        self.cancel = cancel
         self.assertions: list[Term] = []
         self._model: Model | None = None
         self.stats: dict[str, object] = {}
@@ -87,6 +101,14 @@ class Solver:
                 self.assertions.append(t)
             else:
                 raise SolverError(f"assertion must be Bool-sorted, got {t.sort!r}")
+
+    def _cancelled(self, start: float) -> bool:
+        """Poll the cancel token between pipeline phases."""
+        if self.cancel is not None and self.cancel():
+            self.stats["cancelled"] = True
+            self._finish(start, conflicts=0)
+            return True
+        return False
 
     def check(self) -> CheckResult:
         """Decide satisfiability of the conjunction of all assertions."""
@@ -107,6 +129,8 @@ class Solver:
             self._model = Model({})
             self._finish(start, conflicts=0)
             return CheckResult.SAT
+        if self._cancelled(start):
+            return CheckResult.UNKNOWN
 
         elim_start = time.monotonic()
         flat, info = eliminate_arrays(work)
@@ -117,23 +141,27 @@ class Solver:
                 self._finish(start, conflicts=0)
                 return CheckResult.UNSAT
         self.stats["array_time"] = time.monotonic() - elim_start
+        if self._cancelled(start):
+            return CheckResult.UNKNOWN
 
         blast_start = time.monotonic()
         pre = None
         if self.preprocess:
             bb = BitBlaster(GateBuilder(ClauseDB()))
         else:
-            bb = BitBlaster()
+            bb = BitBlaster(GateBuilder(SATSolver(self.sat_config)))
         for t in flat:
             bb.assert_term(t)
         self.stats["blast_time"] = time.monotonic() - blast_start
+        if self._cancelled(start):
+            return CheckResult.UNKNOWN
         if self.preprocess:
             db = bb.gb.sat
             pp_start = time.monotonic()
             pre = Preprocessor(db.num_vars, db.clauses, [0]).run()
             self.stats["preprocess_time"] = time.monotonic() - pp_start
             self.stats.update(pre.stats)
-            sat = SATSolver()
+            sat = SATSolver(self.sat_config)
             for _ in range(db.num_vars):
                 sat.new_var()
             if db.ok and pre.ok:
@@ -152,7 +180,9 @@ class Solver:
             return CheckResult.UNSAT
 
         sat_start = time.monotonic()
-        result = sat.solve(deadline=deadline, conflict_budget=self.conflict_budget)
+        result = sat.solve(deadline=deadline,
+                           conflict_budget=self.conflict_budget,
+                           cancel=self.cancel)
         self.stats["sat_time"] = time.monotonic() - sat_start
         self._finish(start, conflicts=sat.stats["conflicts"])
         self._merge_sat_stats(sat)
@@ -204,6 +234,8 @@ class Solver:
             self.stats[key] = sat.stats.get(key, 0)
         if sat.stats.get("budget_axis"):
             self.stats["budget_axis"] = sat.stats["budget_axis"]
+        if sat.stats.get("cancelled"):
+            self.stats["cancelled"] = True
 
     def model(self) -> Model:
         if self._model is None:

@@ -1,0 +1,106 @@
+"""Checkers under portfolio racing: verdicts match single-strategy runs
+(including with seeded faults), the race accounting reaches the outcome
+stats and the CLI, and ``PUGPARA_PORTFOLIO`` turns the mode on ambiently.
+"""
+
+import pytest
+
+from repro.check.configs import reduction_assumptions, transpose_assumptions
+from repro.check.races import check_races
+from repro.check.result import Verdict, format_solver_stats
+from repro.cli import main
+from repro.kernels import KERNELS, load
+from repro.smt import FaultPlan, faults
+
+TRANSPOSE_CONC = {"bdim": (2, 2, 1), "gdim": (2, 2),
+                  "scalars": {"width": 4, "height": 4}}
+REDUCE_CONC = {"bdim": (8, 1, 1), "gdim": (1, 1)}
+
+
+class TestCheckerDifferential:
+    def test_verified_race_check_matches_plain(self):
+        _, info = load("optimizedTranspose")
+        kwargs = dict(assumption_builder=transpose_assumptions,
+                      concretize=TRANSPOSE_CONC, timeout=120, jobs=1,
+                      cache=False)
+        plain = check_races(info, 8, **kwargs)
+        raced = check_races(info, 8, portfolio=3, **kwargs)
+        assert plain.verdict is raced.verdict is Verdict.VERIFIED
+        assert plain.vcs_checked == raced.vcs_checked
+        port = raced.stats.get("portfolio", {})
+        assert port.get("races", 0) > 0
+        assert port.get("wins", {}).get("baseline", 0) > 0
+        assert "portfolio" not in plain.stats
+
+    def test_buggy_race_check_matches_plain(self):
+        _, info = load("scanRacy")
+        kwargs = dict(assumption_builder=reduction_assumptions,
+                      concretize=REDUCE_CONC, timeout=120, jobs=1,
+                      cache=False)
+        plain = check_races(info, 8, **kwargs)
+        raced = check_races(info, 8, portfolio=2, **kwargs)
+        assert plain.verdict is raced.verdict is Verdict.BUG
+        assert (plain.counterexample.detail
+                == raced.counterexample.detail)
+
+    def test_faulted_portfolio_run_stays_sound(self):
+        """Seeded exceptions under portfolio racing: contained per arm,
+        and the overall verdict is unchanged."""
+        _, info = load("optimizedTranspose")
+        with faults.injected(FaultPlan(seed=11, solver_exception=0.2)):
+            out = check_races(info, 8,
+                              assumption_builder=transpose_assumptions,
+                              concretize=TRANSPOSE_CONC, timeout=120,
+                              jobs=1, cache=False, portfolio=3)
+        assert out.verdict is Verdict.VERIFIED
+
+    def test_env_var_enables_portfolio(self, monkeypatch):
+        monkeypatch.setenv("PUGPARA_PORTFOLIO", "2")
+        _, info = load("optimizedTranspose")
+        out = check_races(info, 8,
+                          assumption_builder=transpose_assumptions,
+                          concretize=TRANSPOSE_CONC, timeout=120,
+                          jobs=1, cache=False)
+        assert out.verdict is Verdict.VERIFIED
+        assert out.stats.get("portfolio", {}).get("races", 0) > 0
+
+    def test_stats_rendering_includes_portfolio_block(self):
+        _, info = load("optimizedTranspose")
+        out = check_races(info, 8,
+                          assumption_builder=transpose_assumptions,
+                          concretize=TRANSPOSE_CONC, timeout=120,
+                          jobs=1, cache=False, portfolio=3)
+        rendered = format_solver_stats(out)
+        assert "portfolio:" in rendered
+        assert "wins" in rendered
+        assert "winner time" in rendered
+
+
+class TestCLIPortfolio:
+    @pytest.fixture()
+    def kernel_file(self, tmp_path):
+        p = tmp_path / "optimizedTranspose.cu"
+        p.write_text(KERNELS["optimizedTranspose"].source)
+        return str(p)
+
+    def test_portfolio_flag_with_stats(self, kernel_file, capsys):
+        rc = main(["races", kernel_file,
+                   "--width", "8", "--pair", "Transpose",
+                   "--cbdim", "2,2,1", "--cgdim", "2,2",
+                   "--set", "width=4", "--set", "height=4",
+                   "--timeout", "120", "--stats", "--no-cache",
+                   "--portfolio=2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified" in out
+        assert "portfolio:" in out
+
+    def test_portfolio_flag_bare_defaults_to_three(self, kernel_file):
+        # --portfolio with no value must still parse (const=3); it
+        # precedes a positional, so the = form is what the docs show.
+        rc = main(["races", kernel_file,
+                   "--width", "8", "--pair", "Transpose",
+                   "--cbdim", "2,2,1", "--cgdim", "2,2",
+                   "--set", "width=4", "--set", "height=4",
+                   "--timeout", "120", "--no-cache", "--portfolio"])
+        assert rc == 0

@@ -1,0 +1,389 @@
+"""Portfolio solving: diversified arms, first-wins racing, cooperative
+cancellation, and the supervisor's escalation to hard worker kills.
+
+The portfolio's contract is differential: verdicts (and, at jobs=1,
+models) are bit-identical to single-strategy solving, including under
+seeded faults — racing only changes which equally-correct answer arrives
+first.  Cancelled or raced-out arms must never leak into the query cache
+or leave worker processes behind.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.smt import (
+    BVConst, BVVar, CheckResult, Distinct, Eq, FaultPlan, Query, QueryCache,
+    SATConfig, Solver, UGt, ULt, faults, solve_all, solve_query,
+)
+from repro.smt.portfolio import (
+    _LADDER, MAX_WIDTH, STRATEGIES, ArmSpec, default_ladder, default_width,
+    effective_width, run_arm,
+)
+from repro.smt.dispatch import _arm_salt, _prepare
+
+
+# --------------------------------------------------------------- queries
+
+
+def _easy_queries():
+    """A small mixed batch with known verdicts (solved in milliseconds)."""
+    x, y = BVVar("pf.x", 16), BVVar("pf.y", 16)
+    return [
+        Query([Eq(x * y, BVConst(143, 16)), UGt(x, BVConst(1, 16)),
+               UGt(y, BVConst(1, 16))], do_simplify=False),
+        Query([Eq(x + y, BVConst(7, 16))], do_simplify=False),
+        Query([ULt(x, BVConst(4, 16)), UGt(x, BVConst(9, 16))],
+              do_simplify=False),
+    ]
+
+
+_EASY_VERDICTS = [CheckResult.SAT, CheckResult.SAT, CheckResult.UNSAT]
+
+
+def _pigeonhole_terms(pigeons=6, holes=5):
+    """UNSAT and deterministically needs hundreds of CDCL conflicts."""
+    vs = [BVVar(f"pfp.{i}", 3) for i in range(pigeons)]
+    return [Distinct(*vs)] + [ULt(v, BVConst(holes, 3)) for v in vs]
+
+
+def _assert_no_orphans(timeout=10.0):
+    """Every pooled run must reap its workers before returning."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        children = multiprocessing.active_children()
+        if not children:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"orphaned worker processes: {children}")
+
+
+# ------------------------------------------------------------- the ladder
+
+
+class TestLadder:
+    def test_arm_zero_is_the_exact_baseline(self):
+        """Serial degradation is bit-identical to portfolio-off solving
+        only because arm 0 runs the default strategy and CDCL config."""
+        base = _LADDER[0]
+        assert base.strategy == "oneshot"
+        assert base.config == SATConfig()
+
+    def test_ladder_is_diversified(self):
+        names = [a.name for a in _LADDER]
+        assert len(set(names)) == len(names)
+        assert len({a.strategy for a in _LADDER}) >= 3
+        assert len({a.config for a in _LADDER}) == len(_LADDER)
+
+    def test_default_ladder_clamps_width(self):
+        assert len(default_ladder(0)) == 1
+        assert len(default_ladder(2)) == 2
+        assert len(default_ladder(99)) == MAX_WIDTH
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown arm strategy"):
+            ArmSpec("bad", "telepathy")
+
+    @pytest.mark.parametrize("arm", _LADDER, ids=lambda a: a.name)
+    def test_every_arm_answers_every_easy_query_identically(self, arm):
+        for query, expected in zip(_easy_queries(), _EASY_VERDICTS):
+            verdict, model, stats = run_arm(
+                arm, list(query.assertions), timeout=None,
+                conflict_budget=None, do_simplify=False)
+            assert verdict is expected, arm.name
+            assert (model is not None) == (expected is CheckResult.SAT)
+            assert stats["strategy"] == arm.strategy
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_single_assertion_degrades_to_oneshot(self, strategy):
+        x = BVVar("pf.single", 8)
+        verdict, model, _stats = run_arm(
+            ArmSpec("t", strategy), [Eq(x, BVConst(5, 8))],
+            timeout=None, conflict_budget=None, do_simplify=False)
+        assert verdict is CheckResult.SAT
+        assert model is not None
+
+
+# --------------------------------------------------- width configuration
+
+
+class TestWidthConfiguration:
+    def test_env_unset_means_off(self, monkeypatch):
+        monkeypatch.delenv("PUGPARA_PORTFOLIO", raising=False)
+        assert default_width() is None
+
+    def test_env_valid(self, monkeypatch):
+        monkeypatch.setenv("PUGPARA_PORTFOLIO", "3")
+        assert default_width() == 3
+
+    def test_env_clamped_to_ladder(self, monkeypatch):
+        monkeypatch.setenv("PUGPARA_PORTFOLIO", "9")
+        assert default_width() == MAX_WIDTH
+
+    def test_env_below_two_means_off(self, monkeypatch):
+        for raw in ("1", "0", "-2"):
+            monkeypatch.setenv("PUGPARA_PORTFOLIO", raw)
+            assert default_width() is None
+
+    def test_env_garbage_warns_and_stays_off(self, monkeypatch):
+        monkeypatch.setenv("PUGPARA_PORTFOLIO", "wide")
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert default_width() is None
+
+    def test_effective_width_clamps_to_pool(self):
+        # jobs>=2: never oversubscribe the pool
+        assert effective_width(4, 2) == 2
+        assert effective_width(2, 8) == 2
+        # jobs=1: serial mode, the full requested width stays meaningful
+        assert effective_width(3, 1) == 3
+        # ladder bounds
+        assert effective_width(99, 99) == MAX_WIDTH
+        assert effective_width(0, 1) == 1
+
+
+# ------------------------------------------------ cooperative cancellation
+
+
+class TestCooperativeCancellation:
+    def test_cancel_before_start_returns_unknown(self):
+        solver = Solver(cancel=lambda: True, do_simplify=False)
+        solver.add(*_pigeonhole_terms())
+        assert solver.check() is CheckResult.UNKNOWN
+        assert solver.stats["cancelled"] is True
+        # cancellation is not budget exhaustion
+        assert "budget_axis" not in solver.stats
+
+    def test_mid_solve_cancel_honored_within_check_interval(self):
+        """Flip the token after a few polls: the solver must stop well
+        short of the full refutation, not run to completion."""
+        full = Solver(do_simplify=False)
+        full.add(*_pigeonhole_terms())
+        assert full.check() is CheckResult.UNSAT
+        total_conflicts = full.stats["conflicts"]
+        assert total_conflicts > 200  # the instance is genuinely hard
+
+        polls = {"n": 0}
+
+        def token():
+            polls["n"] += 1
+            return polls["n"] > 4
+
+        solver = Solver(cancel=token, do_simplify=False)
+        solver.add(*_pigeonhole_terms())
+        assert solver.check() is CheckResult.UNKNOWN
+        assert solver.stats["cancelled"] is True
+        assert solver.stats["conflicts"] < total_conflicts
+
+    @pytest.mark.parametrize("arm", _LADDER, ids=lambda a: a.name)
+    def test_cancel_reaches_every_strategy(self, arm):
+        verdict, model, stats = run_arm(
+            arm, _pigeonhole_terms(), timeout=None, conflict_budget=None,
+            do_simplify=False, cancel=lambda: True)
+        assert verdict is CheckResult.UNKNOWN
+        assert model is None
+        assert stats.get("cancelled") is True
+        assert "budget_axis" not in stats
+
+    def test_budget_exhaustion_still_reports_axis(self):
+        """A real budget UNKNOWN keeps its axis — only *cancellation*
+        suppresses it."""
+        solver = Solver(conflict_budget=10, do_simplify=False)
+        solver.add(*_pigeonhole_terms())
+        assert solver.check() is CheckResult.UNKNOWN
+        assert solver.stats.get("budget_axis") == "conflicts"
+        assert "cancelled" not in solver.stats
+
+
+# --------------------------------------------- serial racing (jobs == 1)
+
+
+class TestSerialRace:
+    def test_verdicts_and_models_bit_identical_to_baseline(self):
+        plain = solve_all(_easy_queries(), jobs=1, cache=False)
+        raced = solve_all(_easy_queries(), jobs=1, cache=False, portfolio=4)
+        assert [r.verdict for r in raced] == [r.verdict for r in plain]
+        for r, p in zip(raced, plain):
+            if p.verdict is CheckResult.SAT:
+                pm, rm = p.model(), r.model()
+                assert {str(v): pm[v] for v in pm.variables()} == \
+                    {str(v): rm[v] for v in rm.variables()}
+
+    def test_baseline_win_short_circuits_the_ladder(self):
+        result = solve_query(_easy_queries()[0], cache=False, portfolio=4)
+        port = result.stats["portfolio"]
+        assert port["mode"] == "serial"
+        assert port["winner"] == "baseline"
+        assert port["winner_strategy"] == "oneshot"
+        assert len(port["arms"]) == 1  # early exit: later arms never ran
+        assert port["arms"][0]["winner"] is True
+        assert port["wasted_time"] == 0.0
+
+    def test_unknown_only_when_every_arm_exhausts(self):
+        query = Query(_pigeonhole_terms(), conflict_budget=5,
+                      do_simplify=False)
+        result = solve_query(query, cache=False, portfolio=3)
+        assert result.verdict is CheckResult.UNKNOWN
+        port = result.stats["portfolio"]
+        assert port["winner"] is None
+        assert len(port["arms"]) == 3
+        assert all(r["verdict"] == "unknown" for r in port["arms"])
+
+    def test_never_wrong_under_seeded_faults(self):
+        for seed in range(5):
+            with faults.injected(FaultPlan(seed=seed,
+                                           solver_exception=0.4)):
+                got = [r.verdict for r in
+                       solve_all(_easy_queries(), jobs=1, cache=False,
+                                 portfolio=3)]
+            for g, expected in zip(got, _EASY_VERDICTS):
+                assert g is expected or g is CheckResult.UNKNOWN
+
+    def test_faulted_baseline_rescued_by_later_arm(self):
+        """An injected exception in arm 0 is contained and a later arm
+        still answers — the portfolio's whole reason to exist."""
+        query = _easy_queries()[0]
+        key = _prepare(0, query).key
+        plan = None
+        for seed in range(200):
+            cand = FaultPlan(seed=seed, solver_exception=0.5)
+            hits = [cand.chance("local.exception", key,
+                                _arm_salt(0, 0, slot)) < 0.5
+                    for slot in range(3)]
+            if hits[0] and not all(hits):
+                plan = cand
+                break
+        assert plan is not None, "no seed faults only the baseline"
+        with faults.injected(plan):
+            result = solve_query(query, cache=False, portfolio=3)
+        assert result.verdict is CheckResult.SAT
+        port = result.stats["portfolio"]
+        assert port["winner"] is not None and port["winner"] != "baseline"
+        assert port["arms"][0].get("error")
+
+
+# ------------------------------------------------- winner-only caching
+
+
+class TestWinnerOnlyCache:
+    def test_winner_entry_per_key_and_cache_hits_replay(self):
+        cache = QueryCache()
+        first = solve_all(_easy_queries(), jobs=1, cache=cache, portfolio=3)
+        assert [r.verdict for r in first] == _EASY_VERDICTS
+        assert len(cache) == 3
+        again = solve_all(_easy_queries(), jobs=1, cache=cache, portfolio=3)
+        assert [r.verdict for r in again] == _EASY_VERDICTS
+        assert all(r.stats.get("cache_hit") for r in again)
+
+    def test_cached_entry_is_the_winner_without_race_residue(self):
+        """The cache holds exactly the winning arm's verdict; per-race
+        accounting and cancellation flags never land in an entry."""
+        cache = QueryCache()
+        query = _easy_queries()[0]
+        solve_query(query, cache=cache, portfolio=3)
+        entry = cache.lookup(_prepare(0, query).key)
+        assert entry is not None
+        assert entry["verdict"] == CheckResult.SAT.value
+        assert "portfolio" not in entry["stats"]
+        assert "cancelled" not in entry["stats"]
+
+    def test_unknown_race_never_cached(self):
+        cache = QueryCache()
+        query = Query(_pigeonhole_terms(), conflict_budget=5,
+                      do_simplify=False)
+        result = solve_query(query, cache=cache, portfolio=3)
+        assert result.verdict is CheckResult.UNKNOWN
+        assert len(cache) == 0
+
+
+# --------------------------------------------- pooled racing (jobs >= 2)
+
+
+@pytest.mark.slow
+class TestPooledRace:
+    def test_race_matches_serial_verdicts(self, monkeypatch):
+        monkeypatch.setenv("PUGPARA_CANCEL_GRACE", "0.5")
+        serial = [r.verdict for r in
+                  solve_all(_easy_queries(), jobs=1, cache=False)]
+        raced = solve_all(_easy_queries(), jobs=2, cache=False, portfolio=3)
+        assert [r.verdict for r in raced] == serial
+        port = raced[0].stats["portfolio"]
+        assert port["mode"] == "race"
+        assert port["width"] == 2  # clamped to the pool
+        assert port["winner"] is not None
+        _assert_no_orphans()
+
+    def test_hung_loser_never_delays_the_verdict(self, monkeypatch):
+        """ISSUE acceptance: a wedged losing arm costs at most the
+        supervision interval on the verdict path (plus the cancellation
+        grace off it), never the hang duration."""
+        monkeypatch.setenv("PUGPARA_SUPERVISE_INTERVAL", "0.01")
+        monkeypatch.setenv("PUGPARA_CANCEL_GRACE", "0.3")
+        query = _easy_queries()[0]
+        key = _prepare(0, query).key
+        plan = None
+        for seed in range(200):
+            cand = FaultPlan(seed=seed, arm_hang=0.5, hang_seconds=20.0)
+            hangs = [cand.chance("arm.hang", key,
+                                 _arm_salt(0, 0, slot)) < 0.5
+                     for slot in range(2)]
+            if hangs == [False, True]:
+                plan = cand
+                break
+        assert plan is not None, "no seed hangs exactly the second arm"
+        start = time.monotonic()
+        with faults.injected(plan):
+            results = solve_all([query], jobs=2, cache=False, portfolio=2)
+        elapsed = time.monotonic() - start
+        assert results[0].verdict is CheckResult.SAT
+        port = results[0].stats["portfolio"]
+        assert port["winner"] == "baseline"
+        # winner + supervision + grace + pool teardown — nowhere near the
+        # 20s hang
+        assert elapsed < 10.0
+        assert port["arms"][1]["killed"] is True
+        _assert_no_orphans()
+
+    def test_all_arms_hung_escalates_to_hard_kill(self, monkeypatch):
+        """No winner and every arm wedged past its budget: the supervisor
+        cancels cooperatively, waits out the grace, then kills the pool
+        and answers UNKNOWN — it never waits out the hang."""
+        monkeypatch.setenv("PUGPARA_SUPERVISE_INTERVAL", "0.01")
+        monkeypatch.setenv("PUGPARA_CANCEL_GRACE", "0.2")
+        monkeypatch.setenv("PUGPARA_POOL_BACKOFF", "0.01")
+        query = Query(_easy_queries()[0].assertions, timeout=0.3,
+                      do_simplify=False)
+        plan = FaultPlan(seed=1, arm_hang=1.0, cancel_ignored=1.0,
+                         hang_seconds=30.0)
+        start = time.monotonic()
+        with faults.injected(plan):
+            results = solve_all([query], jobs=2, cache=False, portfolio=2)
+        elapsed = time.monotonic() - start
+        assert results[0].verdict is CheckResult.UNKNOWN
+        assert elapsed < 15.0  # never the 30s hang
+        _assert_no_orphans()
+
+    def test_crashed_pool_degrades_and_still_answers(self, monkeypatch):
+        monkeypatch.setenv("PUGPARA_POOL_BACKOFF", "0.01")
+        with faults.injected(FaultPlan(seed=5, worker_crash=1.0)):
+            results = solve_all(_easy_queries(), jobs=2, cache=False,
+                                portfolio=2)
+        assert [r.verdict for r in results] == _EASY_VERDICTS
+        _assert_no_orphans()
+
+    def test_sigint_mid_race_leaves_no_orphans(self, monkeypatch):
+        """Ctrl-C during a race propagates, but the unconditional teardown
+        still reaps every worker."""
+        from repro.smt import dispatch
+
+        real = dispatch._race_pooled
+
+        def interrupted(*a, **kw):
+            # let the pool spin its workers up first, then interrupt
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(dispatch, "_race_pooled", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            solve_all(_easy_queries(), jobs=2, cache=False, portfolio=2)
+        _assert_no_orphans()
+        assert real is not dispatch._race_pooled
