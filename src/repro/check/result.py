@@ -24,6 +24,10 @@ __all__ = ["Verdict", "Counterexample", "CheckOutcome", "stopwatch",
 SOLVER_STAT_KEYS = (
     "conflicts", "decisions", "propagations", "restarts", "learned",
     "clauses", "sat_vars",
+    # CDCL inprocessing counters (glue distribution of learned clauses,
+    # clause-DB maintenance, vivification, on-the-fly subsumption).
+    "deleted", "glue2", "glue_low", "glue_high",
+    "vivified", "vivify_lits", "subsumed", "compactions",
     "simplify_time", "array_time", "blast_time", "sat_time", "time",
 )
 
@@ -185,6 +189,19 @@ def format_solver_stats(outcome: "CheckOutcome") -> str:
                 "learned", "clauses", "sat_vars"):
         if key in agg:
             lines.append(f"  {key:<12} {int(agg[key])}")
+    if agg.get("learned"):
+        lines.append("  glue         "
+                     f"<=2: {int(agg.get('glue2', 0))}, "
+                     f"3-6: {int(agg.get('glue_low', 0))}, "
+                     f">6: {int(agg.get('glue_high', 0))}")
+    if (agg.get("deleted") or agg.get("vivified") or agg.get("subsumed")
+            or agg.get("compactions")):
+        lines.append("  inprocessing "
+                     f"deleted: {int(agg.get('deleted', 0))}, "
+                     f"vivified: {int(agg.get('vivified', 0))} "
+                     f"(-{int(agg.get('vivify_lits', 0))} lits), "
+                     f"subsumed: {int(agg.get('subsumed', 0))}, "
+                     f"compactions: {int(agg.get('compactions', 0))}")
     for key in ("simplify_time", "array_time", "blast_time", "sat_time",
                 "time"):
         if key in agg:

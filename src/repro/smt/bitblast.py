@@ -12,6 +12,8 @@ blasting; encountering one here is a programming error.
 
 from __future__ import annotations
 
+from .blastcache import BlastCache, blast_cache_enabled, global_blast_cache, \
+    input_signature
 from .cnf import GateBuilder
 from .sorts import ArraySort
 from .terms import Kind, Term
@@ -21,14 +23,70 @@ __all__ = ["BitBlaster"]
 
 
 class BitBlaster:
-    """Translates Bool terms to literals and BV terms to bit lists."""
+    """Translates Bool terms to literals and BV terms to bit lists.
 
-    def __init__(self, builder: GateBuilder | None = None) -> None:
+    Expensive circuit nodes (multipliers, dividers, adders, comparators,
+    barrel shifters) go through the cross-query template cache
+    (:mod:`repro.smt.blastcache`): the first construction is recorded, and
+    later blasts of the same interned term — in this or any other
+    ``BitBlaster`` — replay the clauses by substitution.  Pass
+    ``cache=None`` (or set ``PUGPARA_BLAST_CACHE=0``) to force direct
+    construction everywhere.
+    """
+
+    def __init__(self, builder: GateBuilder | None = None,
+                 cache: BlastCache | None | str = "global") -> None:
         self.gb = builder if builder is not None else GateBuilder()
+        if cache == "global":
+            cache = global_blast_cache() if blast_cache_enabled() else None
+        self.cache: BlastCache | None = cache  # type: ignore[assignment]
+        # Backends that track assignments (SATSolver) expose root-forced
+        # literals; treating those as constants folds circuits at build
+        # time and specializes templates per root-assignment shape.
+        self._root_value = getattr(self.gb.sat, "root_value", None)
         self._bool_cache: dict[Term, int] = {}
         self._bits_cache: dict[Term, list[int]] = {}
         self.var_bits: dict[Term, list[int]] = {}
         self.bool_vars: dict[Term, int] = {}
+
+    def _root_subst(self, bits: list[int]) -> list[int]:
+        """Replace literals forced at decision level 0 with the builder's
+        constant literals.  Sound because root facts hold in every model of
+        the instance; the gate folds then shrink the circuit."""
+        rv = self._root_value
+        if rv is None:
+            return bits
+        gb = self.gb
+        out = bits
+        for i, l in enumerate(bits):
+            v = rv(l)
+            if v < 2:
+                if out is bits:
+                    out = list(bits)
+                out[i] = gb.true_lit if v == 0 else gb.false_lit
+        return out
+
+    def _via_cache(self, t: Term, inputs: list[int], build) -> list[int]:
+        """Build a circuit node through the template cache: replay when a
+        template for ``(term, input shape)`` exists, else build directly
+        while recording one.  ``inputs`` must already be blasted — the
+        recording must only capture this node's own clauses.
+
+        Root-forced input literals are first replaced by the builder
+        constants, so ``build`` receives (and must construct from) the
+        substituted vector — the cache key, the recorded template, and the
+        emitted circuit all see the same folded shape.
+        """
+        inputs = self._root_subst(inputs)
+        cache = self.cache
+        if cache is None:
+            return build(inputs)
+        gb = self.gb
+        key = (t, input_signature(inputs, gb.is_const))
+        out = cache.replay(key, inputs, gb)
+        if out is not None:
+            return out
+        return cache.record(key, inputs, gb, build)
 
     # ------------------------------------------------------------- interface
 
@@ -103,15 +161,32 @@ class BitBlaster:
             if isinstance(a.sort, ArraySort):
                 raise SolverError("array extensionality is not supported")
             xs, ys = self.bits_of(a), self.bits_of(b)
-            return gb.AND([gb.IFF(x, y) for x, y in zip(xs, ys)])
+            w = len(xs)
+            return self._via_cache(t, xs + ys, lambda ins: [
+                gb.AND([gb.IFF(x, y)
+                        for x, y in zip(ins[:w], ins[w:])])])[0]
         if k == Kind.BVULT:
-            return self._ult(self.bits_of(t.args[0]), self.bits_of(t.args[1]))
+            xs, ys = self.bits_of(t.args[0]), self.bits_of(t.args[1])
+            w = len(xs)
+            return self._via_cache(
+                t, xs + ys, lambda ins: [self._ult(ins[:w], ins[w:])])[0]
         if k == Kind.BVULE:
-            return self._ult(self.bits_of(t.args[1]), self.bits_of(t.args[0])) ^ 1
+            xs, ys = self.bits_of(t.args[0]), self.bits_of(t.args[1])
+            w = len(xs)
+            return self._via_cache(
+                t, xs + ys,
+                lambda ins: [self._ult(ins[w:], ins[:w]) ^ 1])[0]
         if k == Kind.BVSLT:
-            return self._slt(self.bits_of(t.args[0]), self.bits_of(t.args[1]))
+            xs, ys = self.bits_of(t.args[0]), self.bits_of(t.args[1])
+            w = len(xs)
+            return self._via_cache(
+                t, xs + ys, lambda ins: [self._slt(ins[:w], ins[w:])])[0]
         if k == Kind.BVSLE:
-            return self._slt(self.bits_of(t.args[1]), self.bits_of(t.args[0])) ^ 1
+            xs, ys = self.bits_of(t.args[0]), self.bits_of(t.args[1])
+            w = len(xs)
+            return self._via_cache(
+                t, xs + ys,
+                lambda ins: [self._slt(ins[w:], ins[:w]) ^ 1])[0]
         raise SolverError(f"cannot bit-blast Bool term kind {k.name}")
 
     # -------------------------------------------------------------------- bv
@@ -143,20 +218,48 @@ class BitBlaster:
             xs, ys = (self.bits_of(a) for a in t.args)
             return [gb.XOR(x, y) for x, y in zip(xs, ys)]
         if k == Kind.BVADD:
-            return self._adder(self.bits_of(t.args[0]), self.bits_of(t.args[1]),
-                               gb.false_lit)
+            xs = self.bits_of(t.args[0])
+            if t.args[0] is t.args[1]:  # x + x == x << 1: pure wiring
+                return [gb.false_lit, *xs[:-1]]
+            ys = self.bits_of(t.args[1])
+            return self._via_cache(
+                t, xs + ys,
+                lambda ins: self._adder(ins[:w], ins[w:], gb.false_lit))
         if k == Kind.BVSUB:
+            xs = self.bits_of(t.args[0])
             ys = [b ^ 1 for b in self.bits_of(t.args[1])]
-            return self._adder(self.bits_of(t.args[0]), ys, gb.true_lit)
+            return self._via_cache(
+                t, xs + ys,
+                lambda ins: self._adder(ins[:w], ins[w:], gb.true_lit))
         if k == Kind.BVNEG:
             xs = [b ^ 1 for b in self.bits_of(t.args[0])]
             zero = [gb.false_lit] * w
             return self._adder(zero, xs, gb.true_lit)
         if k == Kind.BVMUL:
-            return self._multiplier(self.bits_of(t.args[0]), self.bits_of(t.args[1]))
+            xs = self._root_subst(self.bits_of(t.args[0]))
+            ys = self._root_subst(self.bits_of(t.args[1]))
+            vx, vy = self._const_value(xs), self._const_value(ys)
+            if vy is None and vx is not None:
+                xs, ys, vy = ys, xs, vx
+            if vy is not None:
+                return self._mul_const(xs, vy)
+            # Use the side with more known-zero bits as the row selector —
+            # every known-zero row is skipped entirely.
+            zx = sum(1 for b in xs if gb.is_const(b) is False)
+            zy = sum(1 for b in ys if gb.is_const(b) is False)
+            if zx > zy:
+                xs, ys = ys, xs
+            return self._via_cache(
+                t, xs + ys, lambda ins: self._multiplier(ins[:w], ins[w:]))
         if k in (Kind.BVUDIV, Kind.BVUREM):
-            q, r = self._divider(self.bits_of(t.args[0]), self.bits_of(t.args[1]))
-            return q if k == Kind.BVUDIV else r
+            xs = self.bits_of(t.args[0])
+            ys = self.bits_of(t.args[1])
+
+            def build_div(ins: list[int]) -> list[int]:
+                q, r = self._divider(ins[:w], ins[w:])
+                return [*q, *r]
+            both = self._via_cache(t, xs + ys, build_div)
+            return both[:w] if k == Kind.BVUDIV else both[w:]
         if k == Kind.BVSHL:
             return self._shifter(t, left=True, arith=False)
         if k == Kind.BVLSHR:
@@ -178,6 +281,34 @@ class BitBlaster:
         raise SolverError(f"cannot bit-blast BV term kind {k.name}")
 
     # -------------------------------------------------------------- circuits
+
+    def _const_value(self, bits: list[int]) -> int | None:
+        """The integer value of an all-constant bit vector, else ``None``."""
+        gb = self.gb
+        v = 0
+        for i, b in enumerate(bits):
+            c = gb.is_const(b)
+            if c is None:
+                return None
+            if c:
+                v |= 1 << i
+        return v
+
+    def _mul_const(self, xs: list[int], v: int) -> list[int]:
+        """Multiply by a known constant: one wired shift per set bit,
+        summed with ripple adders.  A power-of-two factor costs zero gates;
+        the general case costs ``popcount(v) - 1`` adders instead of a full
+        shift-add multiplier."""
+        gb = self.gb
+        w = len(xs)
+        v &= (1 << w) - 1
+        acc: list[int] | None = None
+        for i in range(w):
+            if not (v >> i) & 1:
+                continue
+            row = [gb.false_lit] * i + xs[: w - i]
+            acc = row if acc is None else self._adder(acc, row, gb.false_lit)
+        return acc if acc is not None else [gb.false_lit] * w
 
     def _adder(self, xs: list[int], ys: list[int], carry: int) -> list[int]:
         out = []
@@ -232,7 +363,23 @@ class BitBlaster:
         gb = self.gb
         xs = self.bits_of(t.args[0])
         w = len(xs)
-        amount = self.bits_of(t.args[1])
+        amount = self._root_subst(self.bits_of(t.args[1]))
+        fill = xs[-1] if arith else gb.false_lit
+        av = self._const_value(amount)
+        if av is not None:  # constant amount: the shift is pure wiring
+            if av >= w:
+                return [fill] * w if arith else [gb.false_lit] * w
+            if left:
+                return [gb.false_lit] * av + xs[: w - av]
+            return xs[av:] + [fill] * av
+        return self._via_cache(
+            t, xs + amount,
+            lambda ins: self._barrel(ins[:w], ins[w:], left, arith))
+
+    def _barrel(self, xs: list[int], amount: list[int],
+                left: bool, arith: bool) -> list[int]:
+        gb = self.gb
+        w = len(xs)
         fill = xs[-1] if arith else gb.false_lit
         bits = xs
         stage = 0

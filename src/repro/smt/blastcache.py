@@ -1,0 +1,313 @@
+"""Cross-query circuit template cache for the bit-blaster.
+
+One ``solve_all`` batch blasts the same interned terms over and over:
+every one-shot facade check rebuilds its own CNF, so a 32-bit multiplier
+node shared by twelve queries costs twelve full shift-add constructions.
+Terms are hash-consed (:mod:`repro.smt.terms`), so a term object *is* its
+structure — this module records, once per term, the clauses a circuit
+construction emitted, and replays them into later builders by pure
+substitution (fresh auxiliary variables, the caller's input literals).
+
+Recording protocol (driven by :class:`~repro.smt.bitblast.BitBlaster`):
+
+* The node's **operands are blasted first**, outside the recording, so the
+  template only captures the node's own circuitry, never gates shared with
+  siblings.
+* During recording the builder runs with an **isolated gate cache** — an
+  outer-cache hit would reference a literal the template cannot encode.
+  The recorded clauses still flow into the real backend, so the first
+  construction is also the first use.
+* Every literal in the recorded clauses is classified as the global
+  constant (variable 0 in every :class:`~repro.smt.cnf.GateBuilder`), an
+  input (encoded as input index + polarity flip), or an auxiliary variable
+  allocated during the recording (encoded as aux index + polarity).  Any
+  other literal aborts the recording — construction still succeeds, there
+  is just no template.
+
+Replay validity hinges on the **input signature**: gate constructors fold
+on input constness, equality and complement (``AND([x, x ^ 1])`` is
+false), so a template is only valid for input vectors with the same
+canonical shape — each literal rendered as ``('c', value)`` or
+``('v', first-occurrence slot, polarity vs. first occurrence)``.  The
+cache key is ``(term, signature)``; on a shape mismatch the circuit is
+simply built directly (and recorded under the new signature).
+
+Replayed clauses bypass the gate cache entirely — substitution is three
+list operations per clause versus hash probes and fold checks per gate —
+which is where the batch-level speedup comes from.  Verdicts are
+unaffected: a replay emits exactly the Tseitin definitions the direct
+construction would, over fresh auxiliaries.
+
+``PUGPARA_BLAST_CACHE=0`` disables the cache process-wide (the
+kill-switch used by the differential CI job).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+__all__ = ["BlastCache", "global_blast_cache", "blast_cache_enabled"]
+
+#: Templates below this clause count are not worth the bookkeeping.
+MIN_CLAUSES = 8
+
+#: Cache-wide template cap; on overflow the cache resets (simple, and in
+#: practice a whole verification run stays far below it).
+MAX_TEMPLATES = 4096
+
+
+def blast_cache_enabled() -> bool:
+    return os.environ.get("PUGPARA_BLAST_CACHE", "1") != "0"
+
+
+def _comp(r: int) -> int:
+    """The reference of the complementary literal (see the encoding notes
+    on :class:`_Template`)."""
+    if r >= 0:
+        return r ^ 1
+    k = -r - 1
+    return -((k ^ 1) + 1)
+
+
+def input_signature(lits: Sequence[int], is_const) -> tuple:
+    """Canonical shape of an input literal vector.
+
+    Two vectors share a signature iff they present the same pattern of
+    constants, repeated variables and polarities to the gate folds — the
+    precondition for replaying a template recorded against one of them.
+    """
+    sig: list[object] = []
+    slots: dict[int, tuple[int, int]] = {}  # var -> (slot, first polarity)
+    for l in lits:
+        c = is_const(l)
+        if c is not None:
+            sig.append(c)  # True / False
+            continue
+        v = l >> 1
+        hit = slots.get(v)
+        if hit is None:
+            slots[v] = hit = (len(slots), l & 1)
+            sig.append((hit[0], 0))
+        else:
+            slot, pol = hit
+            sig.append((slot, (l & 1) ^ pol))
+    return tuple(sig)
+
+
+class _Template:
+    """One recorded circuit: clauses and outputs over flat-int literal
+    references, plus the auxiliary variable count.
+
+    ``clean`` marks a template whose decoded clauses are guaranteed
+    load-ready (size >= 2, duplicate-, tautology- and assigned-literal-
+    free), so replay may bypass the solver's clause sanitation entirely —
+    see :meth:`BlastCache._encode` for the argument.  Clean templates are
+    additionally flattened (``sizes`` + concatenated ``flat`` refs) so
+    replay decodes the whole template in one list comprehension."""
+
+    __slots__ = ("n_aux", "clauses", "outputs", "clean", "sizes", "flat")
+
+    def __init__(self, n_aux: int, clauses: list[list[int]],
+                 outputs: list[int], clean: bool) -> None:
+        self.n_aux = n_aux
+        self.clauses = clauses
+        self.outputs = outputs
+        self.clean = clean
+        if clean:
+            self.sizes = [len(refs) for refs in clauses]
+            self.flat = [r for refs in clauses for r in refs]
+        else:
+            self.sizes = None
+            self.flat = None
+
+
+# Literal references are flat ints so replay decoding is one comparison and
+# one add (or one list index) per literal:
+#
+# * ``0`` / ``1`` — the constant literals verbatim (variable 0 is the
+#   reserved constant in every builder);
+# * ``c >= 2`` — auxiliary literal, encoded as if the template's fresh
+#   variables were variables ``1..n_aux`` (``c = 2 * (idx + 1) + pol``).
+#   Replay allocates ``base = new_vars(n_aux)`` and decodes by adding
+#   ``delta = 2 * base - 2``;
+# * ``c < 0`` — input reference ``-(2 * idx + flip + 1)``, decoded through
+#   a precomputed map of the caller's input literals and their negations.
+
+
+class BlastCache:
+    """Template store shared across :class:`BitBlaster` instances."""
+
+    def __init__(self) -> None:
+        self._templates: dict[tuple, _Template] = {}
+        self.hits = 0
+        self.misses = 0
+        self.replayed_clauses = 0
+
+    # ----------------------------------------------------------------- replay
+
+    def replay(self, key: tuple, inputs: Sequence[int], gb) -> list[int] | None:
+        """Emit a cached circuit into ``gb``; returns the output literals,
+        or ``None`` on a cache miss."""
+        tpl = self._templates.get(key)
+        if tpl is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        sat = gb.sat
+        base = sat.new_vars(tpl.n_aux)
+        delta = 2 * base - 2
+        inmap: list[int] = []
+        for l in inputs:
+            inmap.append(l)
+            inmap.append(l ^ 1)
+        # Clause refs never hold constants (stripped at encode time), so
+        # the decode is one comparison plus one add or one index per lit.
+        if tpl.clean:
+            sat.add_clauses_flat(
+                tpl.sizes,
+                [inmap[-c - 1] if c < 0 else c + delta for c in tpl.flat])
+        else:
+            sat.add_clauses(
+                [inmap[-c - 1] if c < 0 else c + delta for c in refs]
+                for refs in tpl.clauses)
+        self.replayed_clauses += len(tpl.clauses)
+        return [inmap[-c - 1] if c < 0 else (c + delta if c > 1 else c)
+                for c in tpl.outputs]
+
+    # ------------------------------------------------------------- recording
+
+    def record(self, key: tuple, inputs: Sequence[int], gb, build) -> list[int]:
+        """Run ``build(inputs)`` against ``gb`` with capture + an isolated
+        gate cache, store the template, and return the built outputs."""
+        real = gb.sat
+        sink = _CaptureSink(real)
+        saved_cache = gb._cache
+        gb.sat = sink
+        gb._cache = {}
+        try:
+            outputs = build(list(inputs))
+        finally:
+            gb.sat = real
+            gb._cache = saved_cache
+        if len(sink.log) < MIN_CLAUSES:
+            return outputs
+        encoded = self._encode(sink, inputs, outputs, gb.is_const)
+        if encoded is not None:
+            if len(self._templates) >= MAX_TEMPLATES:
+                self._templates.clear()
+            self._templates[key] = encoded
+        return outputs
+
+    @staticmethod
+    def _encode(sink: "_CaptureSink", inputs: Sequence[int],
+                outputs: Sequence[int], is_const) -> _Template | None:
+        nv = sink.new_vars
+        if nv and nv != list(range(nv[0], nv[0] + len(nv))):
+            return None  # replay assumes a contiguous fresh-variable block
+        aux_index = {v: i for i, v in enumerate(nv)}
+        # Constant input slots are resolved statically: the signature pins
+        # each slot's constness and value, so a slot that is constant here
+        # is the same constant at every replay of this template.
+        input_index: dict[int, int] = {}
+        const_slot: dict[int, bool] = {}
+        for i, l in enumerate(inputs):
+            input_index.setdefault(l >> 1, i)
+            c = is_const(l)
+            if c is not None:
+                const_slot[i] = c
+
+        def encode_lit(lit: int) -> int | None:
+            v = lit >> 1
+            i = aux_index.get(v)
+            if i is not None:
+                return ((i + 1) << 1) | (lit & 1)
+            i = input_index.get(v)
+            if i is not None:
+                flip = (lit & 1) ^ (inputs[i] & 1)
+                cv = const_slot.get(i)
+                if cv is not None:
+                    return 0 if cv ^ bool(flip) else 1
+                return -((i << 1) + flip + 1)
+            if v == 0:  # the reserved constant variable
+                return lit
+            return None
+
+        clauses: list[list[int]] = []
+        clean = True
+        for clause in sink.log:
+            refs: list[int] | None = []
+            seen: set[int] = set()
+            for lit in clause:
+                r = encode_lit(lit)
+                if r is None:
+                    return None
+                if r == 0:  # the true constant satisfies the clause
+                    refs = None
+                    break
+                if r == 1:  # the false constant drops out
+                    continue
+                seen.add(r)
+                refs.append(r)
+            if refs is None:
+                continue
+            clauses.append(refs)
+            # A template is "clean" when every decoded clause is already in
+            # stored form: size >= 2, no duplicate or complementary refs.
+            # Distinct refs decode to distinct variables at every replay
+            # (the signature fixes the slot structure; auxiliaries are a
+            # fresh block), and replay inputs are root-unassigned by
+            # construction (the blaster substitutes root-forced literals
+            # with constants first), so ref-level cleanliness transfers to
+            # the decoded clauses verbatim.
+            if clean and (len(refs) < 2 or len(seen) != len(refs)
+                          or any(_comp(r) in seen for r in refs)):
+                clean = False
+        out_refs: list[int] = []
+        for lit in outputs:
+            r = encode_lit(lit)
+            if r is None:
+                return None
+            out_refs.append(r)
+        return _Template(len(nv), clauses, out_refs, clean)
+
+
+class _CaptureSink:
+    """Backend proxy that mirrors allocations and clauses to the real
+    backend while logging them for template encoding."""
+
+    __slots__ = ("real", "log", "new_vars")
+
+    def __init__(self, real) -> None:
+        self.real = real
+        self.log: list[list[int]] = []
+        self.new_vars: list[int] = []
+
+    @property
+    def num_vars(self) -> int:
+        return self.real.num_vars
+
+    @property
+    def ok(self) -> bool:
+        return self.real.ok
+
+    def new_var(self) -> int:
+        v = self.real.new_var()
+        self.new_vars.append(v)
+        return v
+
+    def add_clause(self, lits) -> bool:
+        clause = list(lits)
+        self.log.append(clause)
+        return self.real.add_clause(clause)
+
+
+_GLOBAL: BlastCache | None = None
+
+
+def global_blast_cache() -> BlastCache:
+    """The process-wide template cache (created on first use)."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = BlastCache()
+    return _GLOBAL

@@ -58,6 +58,36 @@ class ClauseDB:
         self.clauses.append(clause)
         return True
 
+    def new_vars(self, n: int) -> int:
+        """Allocate ``n`` fresh variables at once; returns the first index
+        (the bulk counterpart of :meth:`new_var`, used by template replay)."""
+        first = self.num_vars
+        if n > 0:
+            self.num_vars += n
+        return first
+
+    def add_clauses(self, clause_iter: Iterable[list[int]]) -> bool:
+        """Bulk :meth:`add_clause` without per-literal validation — the
+        replay path feeds machine-generated clauses over this DB's own
+        variable counter."""
+        self.clauses.extend(clause_iter)
+        return self.ok
+
+    # The DB records clauses verbatim either way; pre-sanitized bulk input
+    # needs no separate treatment.
+    add_clauses_raw = add_clauses
+
+    def add_clauses_flat(self, sizes: list[int], flat: list[int]) -> bool:
+        """Bulk-load from a flat literal buffer (see the
+        :class:`~repro.smt.sat.SATSolver` counterpart)."""
+        clauses = self.clauses
+        pos = 0
+        for n in sizes:
+            end = pos + n
+            clauses.append(flat[pos:end])
+            pos = end
+        return self.ok
+
 
 class GateBuilder:
     """Clause emitter with structural gate caching."""

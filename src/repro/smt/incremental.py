@@ -45,8 +45,8 @@ from .bitblast import BitBlaster
 from .cnf import ClauseDB, GateBuilder
 from .model import Model
 from .preprocess import Preprocessor
-from .sat import SATConfig, SATResult, SATSolver
-from .simplify import simplify
+from .sat import SATConfig, SATResult, SATSolver, STAT_COUNTER_KEYS
+from .simplify import harvest_facts, simplify
 from .solver import CheckResult
 from .substitute import evaluate
 from .terms import FALSE, TRUE, Term, common_prefix_length, fingerprint
@@ -120,10 +120,16 @@ def solve_group(prefix: Sequence[Term],
     # ---- term-level simplification (shared caches across the group) ------
     scache: dict[Term, Term] = {}
     smemo: dict[tuple[Term, Term], int | None] = {}
+    # Rewrite facts are harvested from the *shared prefix only*: the prefix
+    # is asserted in every member query, so a prefix fact licenses rewrites
+    # in all of them — which is also what keeps the shared simplify caches
+    # sound (one fact base for every term passing through them).
+    facts = harvest_facts(prefix)
 
     def simp(terms: Sequence[Term]) -> list[Term]:
         if do_simplify:
-            return [simplify(t, scache, index_memo=smemo) for t in terms]
+            return [simplify(t, scache, index_memo=smemo, facts=facts)
+                    for t in terms]
         return list(terms)
 
     base_stats: dict = {"incremental": True, "group_size": n,
@@ -155,7 +161,8 @@ def solve_group(prefix: Sequence[Term],
 
     def post_simp(terms: list[Term]) -> list[Term]:
         if do_simplify:
-            return [t for t in (simplify(x, pcache, index_memo=smemo)
+            return [t for t in (simplify(x, pcache, index_memo=smemo,
+                                         facts=facts)
                                 for x in terms)
                     if t is not TRUE]
         return terms
@@ -183,7 +190,13 @@ def solve_group(prefix: Sequence[Term],
 
     # ---- bit-blasting: shared gates, guarded residual assertions ---------
     blast_start = time.monotonic()
-    bb = BitBlaster(GateBuilder(ClauseDB()))
+    # Without preprocessing, blast straight into the group solver: prefix
+    # units propagate during loading, so the blaster's root-constant
+    # substitution folds member circuits against prefix facts and replayed
+    # templates land in the clause arena with no intermediate copy.  The
+    # preprocessing path still needs the raw CNF in a ClauseDB.
+    backend = ClauseDB() if preprocess else SATSolver(sat_config)
+    bb = BitBlaster(GateBuilder(backend))
     for t in prefix_flat:
         bb.assert_term(t)
     guards: list[int | None] = [None] * n
@@ -195,27 +208,23 @@ def solve_group(prefix: Sequence[Term],
             guards[i] = guard
             for t in flats[i]:
                 bb.assert_term(t, guard=guard)
-    db: ClauseDB = bb.gb.sat  # type: ignore[assignment]
     blast_time = time.monotonic() - blast_start
 
     # ---- preprocessing (frozen: the constant var + assumption vars) ------
     pp_start = time.monotonic()
     pre: Preprocessor | None = None
-    clauses: list[list[int]] = db.clauses
     if preprocess:
+        db: ClauseDB = backend  # type: ignore[assignment]
         frozen = [0] + [g >> 1 for g in guards if g is not None]
         pre = Preprocessor(db.num_vars, db.clauses, frozen).run()
         if not pre.ok:
             return finish_all(_unsat)
-        clauses = pre.output_clauses()
+        sat = SATSolver(sat_config)
+        sat.new_vars(db.num_vars)
+        sat.add_clauses(pre.output_clauses())
+    else:
+        sat = backend  # type: ignore[assignment]
     preprocess_time = time.monotonic() - pp_start
-
-    sat = SATSolver(sat_config)
-    for _ in range(db.num_vars):
-        sat.new_var()
-    for clause in clauses:
-        if not sat.add_clause(clause):
-            break
     if not sat.ok:
         return finish_all(_unsat)
 
@@ -242,8 +251,7 @@ def solve_group(prefix: Sequence[Term],
             stats["cancelled"] = True
             stats["sat_time"] = 0.0
             stats["time"] = stats["setup_share"]
-            for key in ("conflicts", "decisions", "propagations",
-                        "restarts", "learned"):
+            for key in STAT_COUNTER_KEYS:
                 stats[key] = 0
             results[i] = (CheckResult.UNKNOWN, None, stats)
             continue
@@ -262,8 +270,7 @@ def solve_group(prefix: Sequence[Term],
             stats["sat_time"] = 0.0
             stats["time"] = stats["setup_share"]
             stats["budget_axis"] = "time"
-            for key in ("conflicts", "decisions", "propagations",
-                        "restarts", "learned"):
+            for key in STAT_COUNTER_KEYS:
                 stats[key] = 0
             results[i] = (CheckResult.UNKNOWN, None, stats)
             continue
@@ -272,8 +279,7 @@ def solve_group(prefix: Sequence[Term],
                         assumptions=assumptions,
                         cancel=cancel)
         stats["sat_time"] = time.monotonic() - solve_start
-        for key in ("conflicts", "decisions", "propagations", "restarts",
-                    "learned"):
+        for key in STAT_COUNTER_KEYS:
             stats[key] = sat.stats[key] - before.get(key, 0)
         stats["time"] = stats["setup_share"] + stats["sat_time"]
         if res is SATResult.UNSAT:

@@ -1,4 +1,4 @@
-"""CDCL SAT solver.
+"""CDCL SAT solver on a flat clause arena, with lightweight inprocessing.
 
 Literal encoding: variable ``v`` (0-based) has positive literal ``2*v`` and
 negative literal ``2*v + 1``; ``lit ^ 1`` negates.  Assignment convention:
@@ -6,10 +6,36 @@ negative literal ``2*v + 1``; ``lit ^ 1`` negates.  Assignment convention:
 (``0`` when ``v`` is true, ``1`` when ``v`` is false, ``2`` when unassigned),
 so literal ``lit`` is true iff ``assigns[lit >> 1] == (lit & 1)``.
 
-The hot loop (:meth:`SATSolver._propagate`) is written against flat Python
-lists with local-variable aliases, following the profiling guidance for
-pure-Python inner loops: no attribute lookups and no small-object churn on
-the fast path.
+Clause storage is a single flat Python list (the **arena**): a clause at
+offset ``c`` occupies ``[size, lbd, lit_0, ..., lit_{size-1}]``, with
+``lbd == 0`` marking an original (never reducible) clause, ``lbd >= 1`` a
+learned clause's glue, and ``lbd == -1`` a tombstone awaiting compaction.
+Watcher lists are flat paired lists ``[offset, blocker, offset, blocker,
+...]`` per literal, and reasons are arena offsets (``-1`` = decision/unit).
+Compared to per-clause list objects this keeps the propagation loop on
+int reads from a handful of long lists — no small-object churn, no
+attribute chasing — which is the difference between interpreting pointers
+and streaming cache lines, as close as pure Python gets to it.
+
+The solver maintains three inprocessing mechanisms on top of CDCL:
+
+* **LBD (glue) tracking** — every learned clause records the number of
+  distinct decision levels among its literals; clause-DB reduction is
+  glue-aware (binaries and ``lbd <= 3`` clauses are immortal, the rest are
+  ranked by glue then recency and the worst half dropped).
+* **Periodic vivification** — at level 0, every few thousand conflicts, a
+  budgeted batch of learned clauses is re-derived by assuming the negation
+  of their literals one at a time and propagating; conflicts and implied
+  literals shorten or delete the clause.
+* **On-the-fly subsumption** — a freshly learned clause that is a subset
+  of a recent learned clause replaces it.
+
+Deleted clauses become tombstones; once tombstones exceed a third of the
+arena it is compacted in place (offsets in watches/reasons remapped).
+All inprocessing is budgeted, runs only at decision level 0, and derives
+only clauses implied by the database, so incremental-assumption semantics
+are untouched.  ``SATConfig.inprocess`` (or ``PUGPARA_INPROCESS=0`` in
+the environment) turns it off for differential testing.
 
 The solver supports MiniSat-style *incremental* use: :meth:`SATSolver.solve`
 takes an optional sequence of assumption literals, established as forced
@@ -26,30 +52,41 @@ Two extensions serve the portfolio runtime (:mod:`repro.smt.portfolio`):
 
 * **Diversification** — a :class:`SATConfig` parameterizes the CDCL
   heuristics (VSIDS decay, restart schedule, phase-saving polarity, a
-  deterministic decision-randomization seed).  The default config
-  reproduces the historical behaviour bit for bit; any config is sound
-  and complete, so diversified instances may disagree only on *which*
-  model they find, never on the verdict.
+  deterministic decision-randomization seed).  Any config is sound and
+  complete, so diversified instances may disagree only on *which* model
+  they find, never on the verdict.
 * **Cooperative cancellation** — :meth:`SATSolver.solve` accepts a
   ``cancel`` callable, polled at the same cadence as the deadline (every
-  128 conflicts, every 256 decisions, and at every restart).  When it
-  returns True the solve abandons search with ``UNKNOWN`` and sets
-  ``stats["cancelled"]`` — no budget axis is recorded, so a cancelled
-  attempt is never mistaken for budget exhaustion.
+  128 conflicts, every 256 decisions, at every restart, and between
+  vivification steps).  When it returns True the solve abandons search
+  with ``UNKNOWN`` and sets ``stats["cancelled"]`` — no budget axis is
+  recorded, so a cancelled attempt is never mistaken for budget
+  exhaustion, including when the cancel lands inside inprocessing.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from enum import Enum
-from heapq import heappush, heappop
-from typing import Callable, Iterable
+from heapq import heapify, heappush, heappop
+from typing import Callable, Iterable, Iterator
 
 from .luby import luby
 from ...errors import SolverError
 
-__all__ = ["SATSolver", "SATResult", "SATConfig", "RESTART_SCHEDULES"]
+__all__ = ["SATSolver", "SATResult", "SATConfig", "RESTART_SCHEDULES",
+           "STAT_COUNTER_KEYS"]
+
+#: Monotone per-solve counters in ``SATSolver.stats`` — the keys the facade
+#: and the incremental group loop copy (as deltas) into query stats, and that
+#: :mod:`repro.check.result` aggregates into ``stats["solver"]``.
+STAT_COUNTER_KEYS = (
+    "conflicts", "decisions", "propagations", "restarts", "learned",
+    "deleted", "glue2", "glue_low", "glue_high",
+    "vivified", "vivify_lits", "subsumed", "compactions",
+)
 
 #: Recognised restart schedules for :class:`SATConfig`.
 RESTART_SCHEDULES = ("luby", "geometric")
@@ -61,8 +98,9 @@ _MASK64 = (1 << 64) - 1
 class SATConfig:
     """CDCL heuristic configuration — the portfolio's diversification axes.
 
-    The defaults reproduce the solver's historical behaviour exactly, so
     ``SATSolver()`` and ``SATSolver(SATConfig())`` are indistinguishable.
+    Every configuration is sound and complete: arms may differ in which
+    model they report and how fast they get there, never in the verdict.
 
     Parameters
     ----------
@@ -70,7 +108,8 @@ class SATConfig:
         VSIDS activity decay (activities are *divided* by this per
         conflict; smaller = more aggressive focus on recent conflicts).
     clause_decay:
-        Learned-clause activity decay.
+        Retained for configuration compatibility; the clause database is
+        now reduced by glue (LBD) and recency rather than activity.
     restart_base:
         Conflicts allowed before the first restart.
     restart_schedule:
@@ -87,6 +126,10 @@ class SATConfig:
     random_freq:
         Fraction of decisions whose polarity is flipped at random
         (only with ``seed`` set).
+    inprocess:
+        Enables periodic vivification and on-the-fly subsumption of
+        learned clauses.  ``PUGPARA_INPROCESS=0`` in the environment
+        overrides this to False process-wide (the differential CI axis).
     """
     var_decay: float = 0.95
     clause_decay: float = 0.999
@@ -96,6 +139,7 @@ class SATConfig:
     default_phase: int = 1
     seed: int | None = None
     random_freq: float = 0.0
+    inprocess: bool = True
 
     def __post_init__(self) -> None:
         if self.restart_schedule not in RESTART_SCHEDULES:
@@ -120,6 +164,46 @@ class SATResult(Enum):
 
 _UNASSIGNED = 2
 
+#: ``arena[off + 1]`` value marking a tombstoned clause.
+_DEAD = -1
+
+#: Learned clauses at or below this glue are never reduced.
+_GLUE_KEEP = 3
+
+#: Conflicts between vivification rounds, and its per-round budgets.
+_VIVIFY_PERIOD = 4000
+_VIVIFY_CLAUSES = 64
+_VIVIFY_PROPS = 30_000
+
+#: How many recent learned clauses an on-the-fly subsumption check scans.
+_SUBSUME_WINDOW = 2
+
+
+class _ClauseView:
+    """Read-only view of the live *original* clauses (``sat.clauses``).
+
+    Supports ``len`` (used by the stats plumbing) and iteration (used by
+    tests); the underlying storage is the arena.
+    """
+
+    __slots__ = ("_sat",)
+
+    def __init__(self, sat: "SATSolver") -> None:
+        self._sat = sat
+
+    def __len__(self) -> int:
+        return self._sat.n_orig
+
+    def __iter__(self) -> Iterator[list[int]]:
+        arena = self._sat.arena
+        off = 0
+        end = len(arena)
+        while off < end:
+            size = arena[off]
+            if arena[off + 1] == 0:
+                yield arena[off + 2: off + 2 + size]
+            off += size + 2
+
 
 class SATSolver:
     """A conflict-driven clause-learning solver.
@@ -139,15 +223,16 @@ class SATSolver:
         # Per-variable state.
         self.assigns: list[int] = []
         self.levels: list[int] = []
-        self.reasons: list[list[int] | None] = []
+        self.reasons: list[int] = []  # arena offsets; -1 = decision/unit
         self.activity: list[float] = []
         self.phase: list[int] = []  # saved sign bit for the next decision
-        # Per-literal watch lists of clause objects (Python lists of lits).
-        self.watches: list[list[list[int]]] = []
-        # Clause database.
-        self.clauses: list[list[int]] = []
-        self.learnts: list[list[int]] = []
-        self.clause_act: dict[int, float] = {}
+        # Per-literal flat watcher lists: [offset, blocker, offset, ...].
+        self.watches: list[list[int]] = []
+        # Clause arena: [size, lbd, lits...] back to back.
+        self.arena: list[int] = []
+        self.learnt_offs: list[int] = []
+        self.n_orig = 0
+        self._wasted = 0  # arena slots held by tombstones
         # Trail.
         self.trail: list[int] = []
         self.trail_lim: list[int] = []
@@ -155,36 +240,64 @@ class SATSolver:
         # Heuristic state (VSIDS with a lazy heap), set by the config.
         self.var_inc = 1.0
         self.var_decay = 1.0 / self.config.var_decay
-        self.cla_inc = 1.0
-        self.cla_decay = 1.0 / self.config.clause_decay
         self.order_heap: list[tuple[float, int]] = []
         # Deterministic decision-randomization stream (xorshift64*); no
         # global RNG state, so parallel instances never interfere.
         self._rng = ((self.config.seed or 0) * 2 + 1) & _MASK64
         self.ok = True
+        self._pending_prop = False
+        self.inprocess = (self.config.inprocess and
+                          os.environ.get("PUGPARA_INPROCESS", "1") != "0")
+        self._next_vivify = _VIVIFY_PERIOD
+        self._vivify_cursor = 0
         # Assumption state for the current/most recent incremental solve.
         self._assumptions: list[int] = []
         #: After an UNSAT answer under assumptions: the subset of assumption
         #: literals the final conflict depends on (empty when the instance
         #: is unsatisfiable regardless of assumptions).
         self.conflict_assumptions: list[int] = []
-        self.stats = {"conflicts": 0, "decisions": 0, "propagations": 0,
-                      "restarts": 0, "learned": 0, "deleted": 0}
+        self.stats: dict[str, object] = {k: 0 for k in STAT_COUNTER_KEYS}
 
     # ------------------------------------------------------------------ setup
+
+    @property
+    def clauses(self) -> _ClauseView:
+        """Live original clauses (a sized, iterable arena view)."""
+        return _ClauseView(self)
 
     def new_var(self) -> int:
         v = self.num_vars
         self.num_vars += 1
         self.assigns.append(_UNASSIGNED)
         self.levels.append(0)
-        self.reasons.append(None)
+        self.reasons.append(-1)
         self.activity.append(0.0)
         self.phase.append(self.config.default_phase)
         self.watches.append([])
         self.watches.append([])
         heappush(self.order_heap, (0.0, v))
         return v
+
+    def new_vars(self, n: int) -> int:
+        """Allocate ``n`` fresh variables at once; returns the first index.
+        Equivalent to ``n`` :meth:`new_var` calls, minus the per-call
+        bookkeeping — the bulk loaders use this."""
+        if n <= 0:
+            return self.num_vars
+        first = self.num_vars
+        self.num_vars += n
+        self.assigns += [_UNASSIGNED] * n
+        self.levels += [0] * n
+        self.reasons += [-1] * n
+        self.activity += [0.0] * n
+        self.phase += [self.config.default_phase] * n
+        self.watches += [[] for _ in range(2 * n)]
+        # Appending preserves the heap invariant without a heapify: every
+        # existing key is ``(-activity, var)`` with activity >= 0 and var <
+        # first, so the new ``(0.0, v)`` entries (increasing v) compare >=
+        # any possible parent.
+        self.order_heap += [(0.0, v) for v in range(first, first + n)]
+        return first
 
     def add_clause(self, lits: Iterable[int]) -> bool:
         """Add a clause at decision level 0.  Returns ``False`` when the
@@ -193,38 +306,221 @@ class SATSolver:
             return False
         if self.trail_lim:
             raise SolverError("clauses may only be added at decision level 0")
-        seen: set[int] = set()
+        assigns = self.assigns
+        nv2 = 2 * self.num_vars
         out: list[int] = []
         for lit in lits:
-            if not 0 <= lit < 2 * self.num_vars:
-                raise SolverError(f"literal {lit} references an undeclared variable")
-            if lit in seen:
-                continue
-            if lit ^ 1 in seen:
-                return True  # tautology
-            val = self._value(lit)
-            if val == 0:
-                return True  # already satisfied at level 0
-            if val == 1:
+            if not 0 <= lit < nv2:
+                raise SolverError(
+                    f"literal {lit} references an undeclared variable")
+            v = assigns[lit >> 1]
+            if v < 2:
+                if v == (lit & 1):
+                    return True  # already satisfied at level 0
                 continue  # already false at level 0: drop the literal
-            seen.add(lit)
             out.append(lit)
-        if not out:
+        ok = self._add_clause_clean(out)
+        if self._pending_prop:
+            return self._flush_units() and ok
+        return ok
+
+    def add_clauses(self, clause_iter: Iterable[Iterable[int]]) -> bool:
+        """Bulk clause loading (the blast/preprocess/replay path).
+
+        Semantically a loop of :meth:`add_clause` minus the per-literal
+        range validation — callers feed machine-generated clauses whose
+        literals come from this solver's own variable counter.  Unit
+        propagation is deferred to the end of the batch (one propagation
+        pass instead of one per derived unit); assignments are still
+        visible immediately, so in-batch stripping stays sound.
+        """
+        if self.trail_lim:
+            raise SolverError("clauses may only be added at decision level 0")
+        assigns = self.assigns
+        arena = self.arena
+        watches = self.watches
+        clean = self._add_clause_clean
+        for lits in clause_iter:
+            if not self.ok:
+                return False
+            out: list[int] | None = []
+            for lit in lits:
+                v = assigns[lit >> 1]
+                if v >= 2:
+                    out.append(lit)
+                elif v == (lit & 1):
+                    out = None  # satisfied at level 0
+                    break
+            if out is None:
+                continue
+            n = len(out)
+            if n < 2:
+                clean(out)
+                continue
+            a = out[0]
+            b = out[1]
+            if n == 2:
+                if a == b or a ^ 1 == b:
+                    clean(out)  # duplicate-literal unit / tautology
+                    continue
+            else:
+                s = set(out)
+                fast = len(s) == n
+                if fast:
+                    for lit in out:
+                        if lit ^ 1 in s:
+                            fast = False
+                            break
+                if not fast:
+                    clean(out)  # slow path: dedup / tautology
+                    continue
+            off = len(arena)
+            arena.append(n)
+            arena.append(0)
+            arena += out
+            w = watches[a ^ 1]
+            w.append(off)
+            w.append(b)
+            w = watches[b ^ 1]
+            w.append(off)
+            w.append(a)
+            self.n_orig += 1
+        if self._pending_prop:
+            self._flush_units()
+        return self.ok
+
+    def add_clauses_raw(self, clause_iter: Iterable[list[int]]) -> bool:
+        """Bulk-load clauses that are already in stored form.
+
+        The caller guarantees every clause has size >= 2, no duplicate or
+        complementary literals, no literal assigned at level 0, and only
+        declared variables — the blast-template replay path proves this
+        per template at encode time.  Loading is then a pure arena append
+        plus two watcher entries per clause."""
+        arena = self.arena
+        watches = self.watches
+        n_added = 0
+        for out in clause_iter:
+            off = len(arena)
+            arena.append(len(out))
+            arena.append(0)
+            arena += out
+            a = out[0]
+            b = out[1]
+            w = watches[a ^ 1]
+            w.append(off)
+            w.append(b)
+            w = watches[b ^ 1]
+            w.append(off)
+            w.append(a)
+            n_added += 1
+        self.n_orig += n_added
+        return self.ok
+
+    def add_clauses_flat(self, sizes: list[int], flat: list[int]) -> bool:
+        """Bulk-load pre-sanitized clauses from a flat literal buffer.
+
+        ``flat`` holds the concatenated literals of ``len(sizes)`` clauses
+        with the same guarantees as :meth:`add_clauses_raw`.  The flat
+        shape lets the blast-template replay decode a whole template in
+        one list comprehension and load it here with one slice per clause.
+        """
+        arena = self.arena
+        watches = self.watches
+        off = len(arena)
+        pos = 0
+        for n in sizes:
+            arena.append(n)
+            arena.append(0)
+            end = pos + n
+            arena += flat[pos:end]
+            a = flat[pos]
+            b = flat[pos + 1]
+            w = watches[a ^ 1]
+            w.append(off)
+            w.append(b)
+            w = watches[b ^ 1]
+            w.append(off)
+            w.append(a)
+            pos = end
+            off += n + 2
+        self.n_orig += len(sizes)
+        return self.ok
+
+    def _flush_units(self) -> bool:
+        """Propagate units enqueued by the clause loaders; clears ``ok``
+        on a level-0 conflict."""
+        self._pending_prop = False
+        if self._propagate() is not None:
             self.ok = False
             return False
-        if len(out) == 1:
-            self._enqueue(out[0], None)
-            if self._propagate() is not None:
-                self.ok = False
-                return False
-            return True
-        self.clauses.append(out)
-        self._watch(out)
         return True
 
-    def _watch(self, clause: list[int]) -> None:
-        self.watches[clause[0] ^ 1].append(clause)
-        self.watches[clause[1] ^ 1].append(clause)
+    def _add_clause_clean(self, out: list[int]) -> bool:
+        """Finish adding a clause whose level-0-assigned literals are
+        already stripped: dedup, tautology check, store + watch.
+        Derived units are enqueued but not propagated — callers flush via
+        :meth:`_flush_units` (assignments are visible immediately either
+        way)."""
+        n = len(out)
+        if n == 0:
+            self.ok = False
+            return False
+        if n == 1:
+            self._enqueue(out[0], -1)
+            self._pending_prop = True
+            return True
+        if n == 2:
+            a, b = out
+            if a == b:
+                return self._add_clause_clean([a])
+            if a ^ b == 1:
+                return True  # tautology
+        else:
+            seen = set(out)
+            if len(seen) != n:
+                dedup: list[int] = []
+                drop = set()
+                for lit in out:
+                    if lit not in drop:
+                        drop.add(lit)
+                        dedup.append(lit)
+                out = dedup
+                n = len(out)
+                if n == 1:
+                    return self._add_clause_clean(out)
+            for lit in out:
+                if lit ^ 1 in seen:
+                    return True  # tautology
+        arena = self.arena
+        off = len(arena)
+        arena.append(n)
+        arena.append(0)
+        arena += out
+        w0 = self.watches[out[0] ^ 1]
+        w0.append(off)
+        w0.append(out[1])
+        w1 = self.watches[out[1] ^ 1]
+        w1.append(off)
+        w1.append(out[0])
+        self.n_orig += 1
+        return True
+
+    def _add_learnt(self, lits: list[int], lbd: int) -> int:
+        """Append a learned clause (size >= 2) to the arena and watch it."""
+        arena = self.arena
+        off = len(arena)
+        arena.append(len(lits))
+        arena.append(lbd if lbd > 0 else 1)
+        arena += lits
+        w0 = self.watches[lits[0] ^ 1]
+        w0.append(off)
+        w0.append(lits[1])
+        w1 = self.watches[lits[1] ^ 1]
+        w1.append(off)
+        w1.append(lits[0])
+        self.learnt_offs.append(off)
+        return off
 
     # ------------------------------------------------------------- assignment
 
@@ -233,7 +529,19 @@ class SATSolver:
         v = self.assigns[lit >> 1]
         return v if v >= 2 else v ^ (lit & 1)
 
-    def _enqueue(self, lit: int, reason: list[int] | None) -> None:
+    def root_value(self, lit: int) -> int:
+        """0 / 1 when ``lit`` is forced at decision level 0, else 2.
+
+        Root facts are permanent (never unwound by backtracking), so the
+        bit-blaster may treat such literals as constants when keying and
+        building circuit templates."""
+        var = lit >> 1
+        v = self.assigns[var]
+        if v >= 2 or self.levels[var] != 0:
+            return 2
+        return v ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: int) -> None:
         var = lit >> 1
         assert self.assigns[var] == _UNASSIGNED
         self.assigns[var] = lit & 1
@@ -243,19 +551,26 @@ class SATSolver:
 
     # ------------------------------------------------------------ propagation
 
-    def _propagate(self) -> list[int] | None:
-        """Two-watched-literal unit propagation; returns a conflicting clause
-        or ``None``."""
+    def _propagate(self) -> int | None:
+        """Two-watched-literal unit propagation over the arena; returns the
+        offset of a conflicting clause or ``None``.
+
+        Watcher entries are (offset, blocker) pairs; the blocker — the
+        other watched literal at the time the watch was placed — lets most
+        satisfied clauses be skipped without touching the arena at all.
+        """
         assigns = self.assigns
         watches = self.watches
+        arena = self.arena
         trail = self.trail
         levels = self.levels
         reasons = self.reasons
         level = len(self.trail_lim)
         props = 0
-        while self.qhead < len(trail):
-            lit = trail[self.qhead]
-            self.qhead += 1
+        qhead = self.qhead
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
             false_lit = lit ^ 1
             ws = watches[lit]
             if not ws:
@@ -263,48 +578,66 @@ class SATSolver:
             i = j = 0
             n = len(ws)
             while i < n:
-                clause = ws[i]
-                i += 1
-                if clause[0] == false_lit:
-                    clause[0] = clause[1]
-                    clause[1] = false_lit
-                first = clause[0]
-                v0 = assigns[first >> 1]
-                if v0 < 2 and v0 == (first & 1):
-                    ws[j] = clause  # satisfied by the other watch
-                    j += 1
+                blocker = ws[i + 1]
+                b = assigns[blocker >> 1]
+                if b < 2 and b == (blocker & 1):
+                    ws[j] = ws[i]
+                    ws[j + 1] = blocker
+                    i += 2
+                    j += 2
                     continue
+                off = ws[i]
+                i += 2
+                base = off + 2
+                first = arena[base]
+                if first == false_lit:
+                    first = arena[base + 1]
+                    arena[base] = first
+                    arena[base + 1] = false_lit
+                if first != blocker:
+                    b = assigns[first >> 1]
+                    if b < 2 and b == (first & 1):
+                        ws[j] = off
+                        ws[j + 1] = first
+                        j += 2
+                        continue
                 found = False
-                for k in range(2, len(clause)):
-                    lk = clause[k]
+                for k in range(base + 2, base + arena[off]):
+                    lk = arena[k]
                     vk = assigns[lk >> 1]
                     if vk >= 2 or vk == (lk & 1):
-                        clause[1] = lk
-                        clause[k] = false_lit
-                        watches[lk ^ 1].append(clause)
+                        arena[base + 1] = lk
+                        arena[k] = false_lit
+                        wl = watches[lk ^ 1]
+                        wl.append(off)
+                        wl.append(first)
                         found = True
                         break
                 if found:
                     continue
-                ws[j] = clause
-                j += 1
-                if v0 < 2:
+                ws[j] = off
+                ws[j + 1] = first
+                j += 2
+                if b < 2:
                     # ``first`` is false: the whole clause is falsified.
                     while i < n:
                         ws[j] = ws[i]
-                        j += 1
-                        i += 1
+                        ws[j + 1] = ws[i + 1]
+                        i += 2
+                        j += 2
                     del ws[j:]
+                    self.qhead = qhead
                     self.stats["propagations"] += props
-                    return clause
+                    return off
                 # Unit clause: imply ``first`` (inlined _enqueue).
                 var = first >> 1
                 assigns[var] = first & 1
                 levels[var] = level
-                reasons[var] = clause
+                reasons[var] = off
                 trail.append(first)
                 props += 1
             del ws[j:]
+        self.qhead = qhead
         self.stats["propagations"] += props
         return None
 
@@ -316,42 +649,40 @@ class SATSolver:
         if act > 1e100:
             self.activity = [a * 1e-100 for a in self.activity]
             self.var_inc *= 1e-100
-            self.order_heap = [(-self.activity[v], v) for _, v in self.order_heap]
+            self.order_heap = [(-self.activity[v], v)
+                               for _, v in self.order_heap]
+            heapify(self.order_heap)
         heappush(self.order_heap, (-self.activity[var], var))
 
-    def _bump_clause(self, clause: list[int]) -> None:
-        cid = id(clause)
-        act = self.clause_act.get(cid, 0.0) + self.cla_inc
-        self.clause_act[cid] = act
-        if act > 1e100:
-            for k in self.clause_act:
-                self.clause_act[k] *= 1e-100
-            self.cla_inc *= 1e-100
-
-    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+    def _analyze(self, confl: int) -> tuple[list[int], int, int]:
         """First-UIP conflict analysis.
 
-        Returns ``(learned, backtrack_level)`` where ``learned[0]`` is the
-        asserting literal and (for clauses of size > 1) ``learned[1]`` has the
-        highest level among the remaining literals, as the watch scheme
-        requires.
+        Returns ``(learned, backtrack_level, lbd)`` where ``learned[0]`` is
+        the asserting literal and (for clauses of size > 1) ``learned[1]``
+        has the highest level among the remaining literals, as the watch
+        scheme requires.  ``lbd`` is the glue — the number of distinct
+        decision levels among the learned literals.
         """
+        arena = self.arena
+        levels = self.levels
         learned: list[int] = [0]
         seen = bytearray(self.num_vars)
         counter = 0
         lit = -1
         index = len(self.trail) - 1
         cur_level = len(self.trail_lim)
-        clause: list[int] | None = conflict
+        off = confl
         while True:
-            assert clause is not None, "missing reason during conflict analysis"
-            self._bump_clause(clause)
-            for q in (clause if lit == -1 else clause[1:]):
+            assert off >= 0, "missing reason during conflict analysis"
+            base = off + 2
+            for k in range(base if lit == -1 else base + 1,
+                           base + arena[off]):
+                q = arena[k]
                 var = q >> 1
-                if not seen[var] and self.levels[var] > 0:
+                if not seen[var] and levels[var] > 0:
                     seen[var] = 1
                     self._bump_var(var)
-                    if self.levels[var] >= cur_level:
+                    if levels[var] >= cur_level:
                         counter += 1
                     else:
                         learned.append(q)
@@ -365,28 +696,33 @@ class SATSolver:
             if counter == 0:
                 learned[0] = lit ^ 1
                 break
-            clause = self.reasons[var]
+            off = self.reasons[var]
         # Local clause minimization: a literal is redundant when its reason's
         # other literals are all already in the learned clause (seen) or at
         # level 0.
         minimized = [learned[0]]
         for q in learned[1:]:
-            reason = self.reasons[q >> 1]
-            if reason is None:
+            roff = self.reasons[q >> 1]
+            if roff < 0:
                 minimized.append(q)
                 continue
-            if any(not seen[r >> 1] and self.levels[r >> 1] > 0
-                   for r in reason if (r >> 1) != (q >> 1)):
-                minimized.append(q)
+            qv = q >> 1
+            for k in range(roff + 2, roff + 2 + arena[roff]):
+                r = arena[k]
+                rv = r >> 1
+                if rv != qv and not seen[rv] and levels[rv] > 0:
+                    minimized.append(q)
+                    break
         learned = minimized
         if len(learned) == 1:
-            return learned, 0
+            return learned, 0, 1
         max_i = 1
         for i in range(2, len(learned)):
-            if self.levels[learned[i] >> 1] > self.levels[learned[max_i] >> 1]:
+            if levels[learned[i] >> 1] > levels[learned[max_i] >> 1]:
                 max_i = i
         learned[1], learned[max_i] = learned[max_i], learned[1]
-        return learned, self.levels[learned[1] >> 1]
+        lbd = len({levels[q >> 1] for q in learned})
+        return learned, levels[learned[1] >> 1], lbd
 
     def _backtrack(self, level: int) -> None:
         if len(self.trail_lim) <= level:
@@ -396,7 +732,7 @@ class SATSolver:
             var = lit >> 1
             self.phase[var] = lit & 1
             self.assigns[var] = _UNASSIGNED
-            self.reasons[var] = None
+            self.reasons[var] = -1
             heappush(self.order_heap, (-self.activity[var], var))
         del self.trail[bound:]
         del self.trail_lim[level:]
@@ -418,30 +754,216 @@ class SATSolver:
                 return var
         return None
 
-    # -------------------------------------------------------------- reduce DB
+    # --------------------------------------------------- clause-DB management
+
+    def _locked(self, off: int) -> bool:
+        """Is the clause at ``off`` the reason of its implied literal?
+        (The implied literal of a reason clause is always at position 0.)"""
+        return self.reasons[self.arena[off + 2] >> 1] == off
+
+    def _kill_clause(self, off: int) -> None:
+        """Tombstone a clause and eagerly drop its two watcher entries."""
+        arena = self.arena
+        size = arena[off]
+        base = off + 2
+        for wl in (self.watches[arena[base] ^ 1],
+                   self.watches[arena[base + 1] ^ 1]):
+            for i in range(0, len(wl), 2):
+                if wl[i] == off:
+                    wl[i] = wl[-2]
+                    wl[i + 1] = wl[-1]
+                    del wl[-2:]
+                    break
+        arena[off + 1] = _DEAD
+        self._wasted += size + 2
 
     def _reduce_db(self) -> None:
-        """Drop the less-active half of the learned clauses, never touching
-        binary clauses or reasons of current assignments."""
-        locked = {id(r) for r in self.reasons if r is not None}
-        self.learnts.sort(key=lambda c: self.clause_act.get(id(c), 0.0))
-        half = len(self.learnts) // 2
-        doomed_ids: set[int] = set()
-        kept: list[list[int]] = []
-        for i, clause in enumerate(self.learnts):
-            if i < half and len(clause) > 2 and id(clause) not in locked:
-                doomed_ids.add(id(clause))
-                self.clause_act.pop(id(clause), None)
-            else:
-                kept.append(clause)
-        if not doomed_ids:
-            return
+        """Glue-aware learned-clause reduction (called at level 0).
+
+        Binary clauses, clauses with ``lbd <= _GLUE_KEEP`` and reasons of
+        current (root) assignments are immortal; the remaining learned
+        clauses are ranked by glue, ties broken towards keeping recent
+        clauses, and the worse half is tombstoned.
+        """
+        arena = self.arena
+        live: list[int] = []
+        candidates: list[tuple[int, int, int]] = []  # (lbd, -recency, off)
+        for recency, off in enumerate(self.learnt_offs):
+            lbd = arena[off + 1]
+            if lbd == _DEAD:
+                continue
+            live.append(off)
+            if arena[off] > 2 and lbd > _GLUE_KEEP and not self._locked(off):
+                candidates.append((lbd, -recency, off))
+        candidates.sort()
+        doomed = candidates[len(candidates) // 2:]
+        for _, _, off in doomed:
+            self._kill_clause(off)
+        self.learnt_offs = [off for off in live
+                            if arena[off + 1] != _DEAD]
+        self.stats["deleted"] += len(doomed)
+        if self._wasted * 3 > len(arena):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the arena without tombstones, remapping every offset
+        held by watcher lists, reasons and the learned-clause index.
+        Runs only at decision level 0."""
+        arena = self.arena
+        new_arena: list[int] = []
+        remap: dict[int, int] = {}
+        off = 0
+        end = len(arena)
+        while off < end:
+            size = arena[off]
+            lbd = arena[off + 1]
+            if lbd != _DEAD:
+                remap[off] = len(new_arena)
+                new_arena += arena[off: off + 2 + size]
+            off += size + 2
+        self.arena = new_arena
+        self._wasted = 0
         for lit in range(2 * self.num_vars):
-            ws = self.watches[lit]
-            if ws:
-                self.watches[lit] = [c for c in ws if id(c) not in doomed_ids]
-        self.learnts = kept
-        self.stats["deleted"] += len(doomed_ids)
+            wl = self.watches[lit]
+            for i in range(0, len(wl), 2):
+                wl[i] = remap[wl[i]]
+        reasons = self.reasons
+        for var in range(self.num_vars):
+            r = reasons[var]
+            if r >= 0:
+                # Root-level reasons may refer to since-killed clauses;
+                # they are never dereferenced (analysis skips level 0).
+                reasons[var] = remap.get(r, -1)
+        # Tombstoned clauses may still be listed (subsumption and
+        # vivification kill in place); they simply drop out here.
+        self.learnt_offs = [remap[o] for o in self.learnt_offs
+                            if o in remap]
+        self.stats["compactions"] += 1
+
+    def _subsume_on_the_fly(self, lits: list[int], new_off: int) -> None:
+        """Let a fresh learned clause subsume recent learned clauses.
+
+        Scans a short window of the most recently learned clauses; any
+        strict superset of the new clause is tombstoned.  Bounded work per
+        conflict, but catches the common pattern of successive conflicts
+        re-deriving tighter cores of the same clause.
+        """
+        arena = self.arena
+        lset = set(lits)
+        n = len(lits)
+        for off in self.learnt_offs[-1 - _SUBSUME_WINDOW:-1]:
+            lbd = arena[off + 1]
+            if lbd == _DEAD or off == new_off:
+                continue
+            size = arena[off]
+            if size <= n or self._locked(off):
+                continue
+            base = off + 2
+            if lset.issubset(arena[base: base + size]):
+                self._kill_clause(off)
+                self.stats["subsumed"] += 1
+
+    # ----------------------------------------------------------- vivification
+
+    def _vivify_round(self, deadline: float | None,
+                      cancel: Callable[[], bool] | None) -> str:
+        """One budgeted vivification pass over learned clauses at level 0.
+
+        For each selected clause the negations of its literals are assumed
+        one at a time with propagation in between; implied/falsified
+        literals shorten the clause, a conflict or implied literal replaces
+        it by the derived prefix.  Returns ``"ok"``, ``"cancelled"`` or
+        ``"deadline"``; may set ``self.ok = False`` when a clause reduces
+        to the empty clause (the instance is UNSAT at level 0).
+
+        The cancel token and deadline are polled between clauses — the
+        PR 5 cancellation contract extends into inprocessing phases, so a
+        cancelled solve inside vivification still reports ``cancelled``
+        and never a budget axis.
+        """
+        arena = self.arena
+        offs = [o for o in self.learnt_offs
+                if arena[o + 1] != _DEAD and arena[o] >= 3
+                and not self._locked(o)]
+        if not offs:
+            return "ok"
+        start = self._vivify_cursor % len(offs)
+        props_before = self.stats["propagations"]
+        examined = 0
+        for idx in range(start, start + len(offs)):
+            if examined >= _VIVIFY_CLAUSES or \
+                    self.stats["propagations"] - props_before > _VIVIFY_PROPS:
+                break
+            if cancel is not None and cancel():
+                self._backtrack(0)
+                self.stats["cancelled"] = True
+                return "cancelled"
+            if deadline is not None and time.monotonic() > deadline:
+                self._backtrack(0)
+                return "deadline"
+            off = offs[idx % len(offs)]
+            examined += 1
+            if arena[off + 1] == _DEAD or self._locked(off):
+                continue
+            if not self._vivify_clause(off):
+                self._backtrack(0)
+                return "ok"  # instance went UNSAT at level 0
+        self._vivify_cursor = (start + examined) % max(1, len(offs))
+        self._backtrack(0)
+        return "ok"
+
+    def _vivify_clause(self, off: int) -> bool:
+        """Vivify one clause; returns ``False`` when the instance became
+        UNSAT (``self.ok`` cleared)."""
+        arena = self.arena
+        size = arena[off]
+        lits = arena[off + 2: off + 2 + size]
+        kept: list[int] = []
+        outcome: tuple | None = None
+        for li in lits:
+            v = self._value(li)
+            if v == 0:
+                if not self.trail_lim:
+                    outcome = ("delete",)  # satisfied at root
+                else:
+                    outcome = ("replace", kept + [li])  # implied disjunction
+                break
+            if v == 1:
+                continue  # falsified under the assumed prefix: resolve away
+            kept.append(li)
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(li ^ 1, -1)
+            if self._propagate() is not None:
+                outcome = ("replace", kept)  # prefix already contradictory
+                break
+        self._backtrack(0)
+        if outcome is None:
+            if len(kept) == size:
+                return True  # nothing learned
+            outcome = ("replace", kept)
+        if outcome[0] == "delete":
+            self._kill_clause(off)
+            self.stats["vivified"] += 1
+            return True
+        new_lits = outcome[1]
+        if len(new_lits) >= size:
+            return True
+        old_lbd = arena[off + 1]
+        self._kill_clause(off)
+        self.stats["vivified"] += 1
+        self.stats["vivify_lits"] += size - len(new_lits)
+        if not new_lits:
+            self.ok = False
+            return False
+        if len(new_lits) == 1:
+            self._enqueue(new_lits[0], -1)
+            if self._propagate() is not None:
+                self.ok = False
+                return False
+            return True
+        self._add_learnt(new_lits, min(old_lbd, len(new_lits)))
+        self.stats["learned"] += 1
+        return True
 
     # ------------------------------------------------------------------ solve
 
@@ -473,11 +995,11 @@ class SATSolver:
         in ``stats["budget_axis"]`` (``"time"`` or ``"conflicts"``).
 
         ``cancel`` is a zero-argument callable polled alongside the
-        deadline (every 128 conflicts / 256 decisions and at every
-        restart).  When it returns True the solve gives up cooperatively:
-        the answer is :data:`SATResult.UNKNOWN` with ``stats["cancelled"]``
-        set and *no* budget axis — a cancelled race arm must never
-        masquerade as budget exhaustion.
+        deadline (every 128 conflicts / 256 decisions, at every restart,
+        and between vivification steps).  When it returns True the solve
+        gives up cooperatively: the answer is :data:`SATResult.UNKNOWN`
+        with ``stats["cancelled"]`` set and *no* budget axis — a cancelled
+        race arm must never masquerade as budget exhaustion.
 
         ``assumptions`` are established as forced decisions before any
         branching; an UNSAT answer caused by them leaves ``ok`` True,
@@ -492,12 +1014,13 @@ class SATSolver:
         self.conflict_assumptions = []
         if not self.ok:
             return SATResult.UNSAT
+        self._pending_prop = False  # the root pass below drains the queue
         if self._propagate() is not None:
             self.ok = False
             return SATResult.UNSAT
         restart_num = 0
         start_conflicts = self.stats["conflicts"]
-        max_learnts = max(2000, len(self.clauses))
+        max_learnts = max(2000, self.n_orig)
         while True:
             restart_num += 1
             if cancel is not None and cancel():
@@ -519,7 +1042,18 @@ class SATSolver:
                     self.stats["conflicts"] - start_conflicts > conflict_budget:
                 self.stats["budget_axis"] = "conflicts"
                 return SATResult.UNKNOWN
-            if len(self.learnts) > max_learnts:
+            if self.inprocess and \
+                    self.stats["conflicts"] >= self._next_vivify:
+                self._next_vivify = self.stats["conflicts"] + _VIVIFY_PERIOD
+                verdict = self._vivify_round(deadline, cancel)
+                if verdict == "cancelled":
+                    return SATResult.UNKNOWN
+                if verdict == "deadline":
+                    self.stats["budget_axis"] = "time"
+                    return SATResult.UNKNOWN
+                if not self.ok:
+                    return SATResult.UNSAT
+            if len(self.learnt_offs) > max_learnts:
                 self._reduce_db()
                 max_learnts = int(max_learnts * 1.3)
 
@@ -546,6 +1080,7 @@ class SATSolver:
         every decision level on the trail is an assumption level, so every
         reason-less literal above the root is an assumption decision.
         """
+        arena = self.arena
         seen = bytearray(self.num_vars)
         seen[p >> 1] = 1
         out: list[int] = [p]
@@ -555,12 +1090,13 @@ class SATSolver:
             if not seen[var]:
                 continue
             seen[var] = 0
-            reason = self.reasons[var]
-            if reason is None:
+            roff = self.reasons[var]
+            if roff < 0:
                 if var != p >> 1:
                     out.append(lit)
             else:
-                for q in reason[1:]:
+                for k in range(roff + 3, roff + 2 + arena[roff]):
+                    q = arena[k]
                     if self.levels[q >> 1] > 0:
                         seen[q >> 1] = 1
         return out
@@ -572,38 +1108,45 @@ class SATSolver:
         the deadline, or a cooperative cancel (``UNKNOWN``)."""
         conflicts = 0
         n_assumptions = len(self._assumptions)
+        stats = self.stats
         while True:
             conflict = self._propagate()
             if conflict is not None:
-                self.stats["conflicts"] += 1
+                stats["conflicts"] += 1
                 conflicts += 1
                 if not self.trail_lim:
                     self.ok = False
                     return SATResult.UNSAT
-                learned, bt_level = self._analyze(conflict)
+                learned, bt_level, lbd = self._analyze(conflict)
                 self._backtrack(bt_level)
                 if len(learned) == 1:
-                    self._enqueue(learned[0], None)
+                    self._enqueue(learned[0], -1)
                 else:
-                    self.learnts.append(learned)
-                    self.stats["learned"] += 1
-                    self._watch(learned)
-                    self._enqueue(learned[0], learned)
+                    off = self._add_learnt(learned, lbd)
+                    stats["learned"] += 1
+                    if lbd <= 2:
+                        stats["glue2"] += 1
+                    elif lbd <= 6:
+                        stats["glue_low"] += 1
+                    else:
+                        stats["glue_high"] += 1
+                    if self.inprocess:
+                        self._subsume_on_the_fly(learned, off)
+                    self._enqueue(learned[0], off)
                 self.var_inc *= self.var_decay
-                self.cla_inc *= self.cla_decay
                 if conflicts >= budget:
                     return None
                 if conflicts & 127 == 0:
                     if cancel is not None and cancel():
-                        self.stats["cancelled"] = True
+                        stats["cancelled"] = True
                         return SATResult.UNKNOWN
                     if deadline is not None and \
                             time.monotonic() > deadline:
                         return SATResult.UNKNOWN
                 continue
-            if self.stats["decisions"] & 255 == 0:
+            if stats["decisions"] & 255 == 0:
                 if cancel is not None and cancel():
-                    self.stats["cancelled"] = True
+                    stats["cancelled"] = True
                     return SATResult.UNKNOWN
                 if deadline is not None and time.monotonic() > deadline:
                     return SATResult.UNKNOWN
@@ -618,19 +1161,19 @@ class SATSolver:
                     return SATResult.UNSAT
                 self.trail_lim.append(len(self.trail))
                 if val != 0:
-                    self._enqueue(p, None)
+                    self._enqueue(p, -1)
                 continue
             var = self._pick_branch_var()
             if var is None:
                 return SATResult.SAT
-            self.stats["decisions"] += 1
+            stats["decisions"] += 1
             self.trail_lim.append(len(self.trail))
             phase = self.phase[var]
             cfg = self.config
             if cfg.random_freq and cfg.seed is not None and \
                     self._rand() < cfg.random_freq:
                 phase ^= 1
-            self._enqueue((var << 1) | phase, None)
+            self._enqueue((var << 1) | phase, -1)
 
     # ------------------------------------------------------------------ model
 

@@ -21,13 +21,18 @@ from __future__ import annotations
 
 
 from .poly import normalize_arith, normalize_eq, poly_of, poly_add, poly_neg
+from .rewrite import Facts, NO_FACTS, harvest_facts, rewrite_node
 from .sorts import BitVecSort
 from .substitute import rebuild
 from .terms import FALSE, TRUE, Ite, Kind, Select, Term, Eq
 
-__all__ = ["simplify", "simplify_all", "index_difference"]
+__all__ = ["simplify", "simplify_all", "index_difference", "harvest_facts"]
 
 _ARITH_KINDS = frozenset({Kind.BVADD, Kind.BVSUB, Kind.BVNEG, Kind.BVMUL, Kind.BVSHL})
+
+#: Kinds the word-level rewriter (:mod:`repro.smt.rewrite`) has rules for —
+#: gating on kind keeps the per-node overhead to one frozenset probe.
+_REWRITE_KINDS = frozenset({Kind.BVUREM, Kind.EQ})
 
 
 def _diff_const(ip, jneg, modulus: int) -> int | None:
@@ -117,21 +122,28 @@ def _resolve_select(array: Term, index: Term,
 
 
 def simplify(term: Term, cache: dict[Term, Term] | None = None, *,
-             index_memo: dict[tuple[Term, Term], int | None] | None = None
-             ) -> Term:
-    """Return an equivalent, normalized term (see module docstring)."""
+             index_memo: dict[tuple[Term, Term], int | None] | None = None,
+             facts: Facts | None = None) -> Term:
+    """Return an equivalent, normalized term (see module docstring).
+
+    ``facts`` supplies the harvested per-query context for the word-level
+    rewrite layer (:mod:`repro.smt.rewrite`); pass the same fact base for
+    every term sharing a ``cache`` — cached results are only valid under
+    the facts they were rewritten with.
+    """
     if cache is None:
         cache = {}
     if index_memo is None:
         index_memo = {}
     memo = index_memo
+    fb = facts if facts is not None else NO_FACTS
 
     def finish(t: Term) -> Term:
         """Post-process a node whose children are already simplified.
 
-        The outputs of the three normalizers are built via smart constructors
-        exclusively from already-simplified parts, so the result needs no
-        second pass.
+        The outputs of the normalizers and the rewriter are built via smart
+        constructors exclusively from already-simplified parts, so the
+        result needs no second pass.
         """
         out = rebuild(t, tuple(cache[a] for a in t.args)) if t.args else t
         k = out.kind
@@ -142,6 +154,8 @@ def simplify(term: Term, cache: dict[Term, Term] | None = None, *,
             out = Eq(lhs, rhs)
         elif k == Kind.SELECT:
             out = _resolve_select(out.args[0], out.args[1], memo)
+        if out.kind in _REWRITE_KINDS:
+            out = rewrite_node(out, fb)
         return out
 
     # Explicit stack: deep store chains overflow the C stack otherwise.
@@ -160,10 +174,18 @@ def simplify(term: Term, cache: dict[Term, Term] | None = None, *,
     return cache[term]
 
 
-def simplify_all(terms: list[Term]) -> list[Term]:
-    """Simplify a list of terms with shared caches (the assertions of one
-    query overlap heavily, so both the term cache and the index-difference
-    memo are shared across the batch)."""
+def simplify_all(terms: list[Term], *,
+                 facts: Facts | None = None) -> list[Term]:
+    """Simplify one query's assertion list with shared caches (the
+    assertions of one query overlap heavily, so the term cache and the
+    index-difference memo are shared across the batch).
+
+    Unless a pre-harvested ``facts`` base is supplied, the word-level
+    rewriter's facts are harvested from ``terms`` itself — the list must
+    therefore be one conjunction (one query), which is how every caller
+    uses it."""
+    if facts is None:
+        facts = harvest_facts(terms)
     cache: dict[Term, Term] = {}
     memo: dict[tuple[Term, Term], int | None] = {}
-    return [simplify(t, cache, index_memo=memo) for t in terms]
+    return [simplify(t, cache, index_memo=memo, facts=facts) for t in terms]

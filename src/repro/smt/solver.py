@@ -30,7 +30,7 @@ from .bitblast import BitBlaster
 from .cnf import ClauseDB, GateBuilder
 from .model import Model
 from .preprocess import Preprocessor
-from .sat import SATConfig, SATSolver
+from .sat import SATConfig, SATSolver, STAT_COUNTER_KEYS
 from .simplify import simplify_all
 from .sorts import ArraySort
 from .substitute import evaluate
@@ -162,12 +162,9 @@ class Solver:
             self.stats["preprocess_time"] = time.monotonic() - pp_start
             self.stats.update(pre.stats)
             sat = SATSolver(self.sat_config)
-            for _ in range(db.num_vars):
-                sat.new_var()
+            sat.new_vars(db.num_vars)
             if db.ok and pre.ok:
-                for clause in pre.output_clauses():
-                    if not sat.add_clause(clause):
-                        break
+                sat.add_clauses(pre.output_clauses())
             else:
                 sat.ok = False
         else:
@@ -230,8 +227,9 @@ class Solver:
         self.stats["conflicts"] = conflicts
 
     def _merge_sat_stats(self, sat) -> None:
-        for key in ("decisions", "propagations", "restarts", "learned"):
-            self.stats[key] = sat.stats.get(key, 0)
+        for key in STAT_COUNTER_KEYS:
+            if key != "conflicts":  # set by _finish already
+                self.stats[key] = sat.stats.get(key, 0)
         if sat.stats.get("budget_axis"):
             self.stats["budget_axis"] = sat.stats["budget_axis"]
         if sat.stats.get("cancelled"):

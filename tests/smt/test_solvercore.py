@@ -1,0 +1,266 @@
+"""Arena CDCL core internals: clause-DB reduction, vivification,
+on-the-fly subsumption, compaction, the raw bulk-load path, and the
+cancellation contract inside inprocessing phases.
+
+The public solver behaviour (verdicts, assumptions, budgets) is covered
+by ``test_sat.py``; this module reaches into the arena representation to
+pin the inprocessing mechanics and their stats counters, and proves the
+PR 5 cancellation contract — ``stats["cancelled"]``, never a
+``budget_axis`` — extends into vivification and into hung portfolio
+arms.
+"""
+
+import time
+
+from repro.smt import FaultPlan, Query, faults, solve_all
+from repro.smt.dispatch import _arm_salt, _prepare
+from repro.smt.sat import SATConfig, SATResult, SATSolver, STAT_COUNTER_KEYS
+from repro.smt.sat.solver import _DEAD, _GLUE_KEEP
+from repro.smt.terms import BVConst, BVVar, Eq, UGt
+
+
+def lit(v: int, positive: bool = True) -> int:
+    return v * 2 + (0 if positive else 1)
+
+
+def _php(holes: int) -> SATSolver:
+    """holes+1 pigeons into ``holes`` holes — UNSAT, conflict-rich."""
+    s = SATSolver()
+    pigeons = holes + 1
+    var = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        s.add_clause([lit(v) for v in var[p]])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([lit(var[p1][h], False), lit(var[p2][h], False)])
+    return s
+
+
+# ------------------------------------------------------------- stats keys
+
+
+class TestStats:
+    def test_counters_initialised_and_monotone(self):
+        s = _php(5)
+        for key in STAT_COUNTER_KEYS:
+            assert s.stats[key] == 0
+        assert s.solve() is SATResult.UNSAT
+        assert s.stats["conflicts"] > 0
+        assert s.stats["learned"] > 0
+        assert s.stats["propagations"] > 0
+        for key in STAT_COUNTER_KEYS:
+            assert s.stats[key] >= 0
+
+    def test_glue_distribution_tracks_learned_clauses(self):
+        s = _php(6)
+        s.solve()
+        glue = (s.stats["glue2"] + s.stats["glue_low"]
+                + s.stats["glue_high"])
+        assert glue > 0
+        # every search-learned clause lands in exactly one glue bucket;
+        # vivification re-adds shortened clauses outside the buckets
+        assert glue <= s.stats["learned"]
+
+
+# ----------------------------------------------------------- clause arena
+
+
+class TestArena:
+    def test_clause_view_counts_only_live_originals(self):
+        s = SATSolver()
+        a, b, c = (lit(s.new_var()) for _ in range(3))
+        s.add_clause([a, b])
+        s.add_clause([b, c])
+        s.add_clause([a, b, c])
+        assert len(s.clauses) == 3
+        s._add_learnt([a ^ 1, c], lbd=2)
+        assert len(s.clauses) == 3  # learned clauses are not originals
+        assert sorted(len(cl) for cl in s.clauses) == [2, 2, 3]
+
+    def test_add_clauses_raw_matches_sanitized_path(self):
+        clauses = [[0, 2], [1, 4], [3, 5, 6], [2, 5], [0, 4, 6]]
+        s1 = SATSolver()
+        s1.new_vars(4)
+        for cl in clauses:
+            s1.add_clause(cl)
+        s2 = SATSolver()
+        s2.new_vars(4)
+        s2.add_clauses_raw([list(cl) for cl in clauses])
+        assert len(s2.clauses) == len(clauses)
+        assert s1.solve() is s2.solve() is SATResult.SAT
+        # agree on every assumption-forced verdict too
+        for v in range(4):
+            for phase in (0, 1):
+                r1 = s1.solve(assumptions=[lit(v, phase == 0)])
+                r2 = s2.solve(assumptions=[lit(v, phase == 0)])
+                assert r1 is r2
+
+    def test_new_vars_bulk_allocation_keeps_heap_usable(self):
+        # bulk allocation after activity bumps must preserve the branch
+        # heap (new entries are appended without a heapify)
+        s = SATSolver()
+        a, b = lit(s.new_var()), lit(s.new_var())
+        s.add_clause([a, b])
+        assert s.solve() is SATResult.SAT
+        s.reset_to_root()
+        first = s.new_vars(5)
+        assert s.num_vars == first + 5
+        x, y = lit(first), lit(first + 4)
+        s.add_clause([x, y])
+        s.add_clause([x ^ 1, y ^ 1])
+        assert s.solve() is SATResult.SAT
+        assert s.solve(assumptions=[x, y]) is SATResult.UNSAT
+        assert s.solve(assumptions=[x, y ^ 1]) is SATResult.SAT
+
+    def test_kill_and_compact_remap_offsets(self):
+        s = SATSolver()
+        lits = [lit(s.new_var()) for _ in range(6)]
+        s.add_clause(lits[:3])
+        s.add_clause(lits[2:5])
+        off = s._add_learnt([lits[0] ^ 1, lits[3], lits[5]], lbd=4)
+        s._kill_clause(off)
+        assert s.arena[off + 1] == _DEAD
+        assert s._wasted > 0
+        s._compact()
+        assert s.stats["compactions"] == 1
+        assert s._wasted == 0
+        assert s.solve() is SATResult.SAT
+        assert len(s.clauses) == 2
+
+
+# ------------------------------------------------------- clause reduction
+
+
+class TestReduceDB:
+    def test_reduction_keeps_glue_and_kills_high_lbd(self):
+        s = SATSolver()
+        vs = [lit(s.new_var()) for _ in range(12)]
+        s.add_clause(vs[:2])
+        s._add_learnt([vs[0], vs[1], vs[2]], lbd=_GLUE_KEEP)
+        for i in range(8):
+            s._add_learnt(
+                [vs[i % 10], vs[(i + 1) % 10], vs[(i + 2) % 10],
+                 vs[(i + 3) % 10]], lbd=_GLUE_KEEP + 2 + i)
+        s._reduce_db()
+        # half of the 8 reducible clauses tombstoned, glue clause immortal
+        # (offsets may have been remapped by compaction — judge by the
+        # rebuilt learned index and the surviving LBD values)
+        assert s.stats["deleted"] == 4
+        assert len(s.learnt_offs) == 5
+        survivors = sorted(s.arena[off + 1] for off in s.learnt_offs)
+        assert survivors[0] == _GLUE_KEEP
+        # the worst glue went first: survivors are the low-LBD half
+        assert survivors[-1] <= _GLUE_KEEP + 2 + 3
+
+    def test_subsume_on_the_fly_kills_strict_superset(self):
+        s = SATSolver()
+        a, b, c, d = (lit(s.new_var()) for _ in range(4))
+        s.add_clause([a, b, c, d])
+        wide = s._add_learnt([a, b, c], lbd=3)
+        tight = s._add_learnt([a, b], lbd=2)
+        s._subsume_on_the_fly([a, b], tight)
+        assert s.arena[wide + 1] == _DEAD
+        assert s.stats["subsumed"] == 1
+        assert s.arena[tight + 1] != _DEAD
+
+
+# ----------------------------------------------------------- vivification
+
+
+class TestVivification:
+    def _solver_with_weak_learnt(self):
+        """A solver whose one learned clause contains a root-false lit."""
+        s = SATSolver()
+        a, b, c = (lit(s.new_var()) for _ in range(3))
+        s.add_clause([a ^ 1])  # root unit: a is false
+        s.add_clause([b, c])
+        off = s._add_learnt([b, c, a], lbd=3)
+        return s, off, (a, b, c)
+
+    def test_vivify_drops_root_false_literal(self):
+        s, off, (a, b, c) = self._solver_with_weak_learnt()
+        assert s._vivify_round(None, None) == "ok"
+        assert s.arena[off + 1] == _DEAD  # replaced by a shorter clause
+        assert s.stats["vivified"] == 1
+        assert s.stats["vivify_lits"] >= 1
+        assert s.solve() is SATResult.SAT
+
+    def test_vivify_round_polls_cancel_between_clauses(self):
+        s, off, _ = self._solver_with_weak_learnt()
+        assert s._vivify_round(None, lambda: True) == "cancelled"
+        assert s.stats["cancelled"] is True
+        assert "budget_axis" not in s.stats
+        assert s.arena[off + 1] != _DEAD  # cancelled before any work
+
+    def test_vivify_round_honors_deadline(self):
+        s, off, _ = self._solver_with_weak_learnt()
+        assert s._vivify_round(time.monotonic() - 1.0, None) == "deadline"
+        assert "cancelled" not in s.stats
+
+    def test_cancel_during_inprocessing_solve_reports_cancelled(self):
+        """End-to-end: a solve cancelled while vivification is due answers
+        UNKNOWN with ``cancelled`` set and no budget axis — cancellation
+        is not exhaustion (the PR 5 contract, extended to inprocessing)."""
+        s = _php(7)
+        s._next_vivify = 1  # vivify from the first restart on
+        polls = []
+
+        def cancel() -> bool:
+            polls.append(None)
+            return len(polls) > 64
+
+        res = s.solve(cancel=cancel)
+        assert res is SATResult.UNKNOWN
+        assert s.stats["cancelled"] is True
+        assert "budget_axis" not in s.stats
+
+    def test_inprocess_off_skips_vivification(self):
+        cfg = SATConfig(inprocess=False)
+        s = SATSolver(cfg)
+        pigeons, holes = 7, 6
+        var = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+        for p in range(pigeons):
+            s.add_clause([lit(v) for v in var[p]])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([lit(var[p1][h], False),
+                                  lit(var[p2][h], False)])
+        s._next_vivify = 1
+        assert s.solve() is SATResult.UNSAT
+        assert s.stats["vivified"] == 0
+
+
+# ----------------------------------------------- cancellation via faults
+
+
+class TestHungArmCancellation:
+    def test_hung_arm_race_never_reports_budget_axis(self, monkeypatch):
+        """An ``arm_hang`` fault wedges one portfolio arm; the winner's
+        outcome must carry no ``budget_axis`` (the loser was *cancelled*,
+        then killed — not budget-exhausted)."""
+        monkeypatch.setenv("PUGPARA_SUPERVISE_INTERVAL", "0.01")
+        monkeypatch.setenv("PUGPARA_CANCEL_GRACE", "0.3")
+        x, y = BVVar("sc.x", 16), BVVar("sc.y", 16)
+        query = Query([Eq(x + y, BVConst(9, 16)), UGt(x, BVConst(2, 16))],
+                      do_simplify=False)
+        key = _prepare(0, query).key
+        plan = None
+        for seed in range(200):
+            cand = FaultPlan(seed=seed, arm_hang=0.5, hang_seconds=20.0)
+            hangs = [cand.chance("arm.hang", key,
+                                 _arm_salt(0, 0, slot)) < 0.5
+                     for slot in range(2)]
+            if hangs == [False, True]:
+                plan = cand
+                break
+        assert plan is not None, "no seed hangs exactly the second arm"
+        with faults.injected(plan):
+            results = solve_all([query], jobs=2, cache=False, portfolio=2)
+        outcome = results[0]
+        assert outcome.verdict.value == "sat"
+        assert "budget_axis" not in outcome.stats
+        port = outcome.stats["portfolio"]
+        assert port["arms"][1]["killed"] is True
+        assert not port["arms"][1].get("budget_axis")
