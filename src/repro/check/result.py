@@ -17,7 +17,8 @@ from enum import Enum
 from typing import Any, Iterator
 
 __all__ = ["Verdict", "Counterexample", "CheckOutcome", "stopwatch",
-           "SOLVER_STAT_KEYS", "format_solver_stats"]
+           "SOLVER_STAT_KEYS", "format_solver_stats", "jsonable_stats",
+           "outcome_to_json"]
 
 #: The per-query ``Solver.stats`` counters the checkers accumulate into
 #: ``CheckOutcome.stats["solver"]`` (printed by the CLI's ``--stats``).
@@ -250,6 +251,58 @@ def format_solver_stats(outcome: "CheckOutcome") -> str:
                             f"{port['cancel_latency_max']:.3f}s"
                             if port.get("cancel_latency_max") else ""))
     return "\n".join(lines)
+
+
+def jsonable_stats(value: Any) -> Any:
+    """Recursively project a stats structure onto JSON-safe types.
+
+    Dispatch stats occasionally carry non-JSON payloads (enum verdicts,
+    tuples, exception reprs); machine-readable consumers (``--stats-json``,
+    the serve protocol, the bench harness) need a lossless-enough JSON view
+    — unknown scalars are stringified rather than dropped.
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonable_stats(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable_stats(v) for v in value]
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    return str(value)
+
+
+def outcome_to_json(outcome: "CheckOutcome") -> dict[str, Any]:
+    """A machine-readable projection of a :class:`CheckOutcome`.
+
+    This is the one JSON shape shared by ``pugpara ... --stats-json``, the
+    ``repro.serve`` response body, and the bench harness — solver,
+    resilience, and portfolio stat blocks ride along under ``stats``
+    without anyone scraping the human ``--stats`` rendering.
+    """
+    cex = None
+    if outcome.counterexample is not None:
+        c = outcome.counterexample
+        cex = {
+            "bdim": list(c.bdim),
+            "gdim": list(c.gdim),
+            "scalars": dict(c.scalars),
+            "arrays": {name: {str(i): v for i, v in content.items()}
+                       for name, content in c.arrays.items()},
+            "detail": c.detail,
+        }
+    return {
+        "verdict": outcome.verdict.value,
+        "reason": outcome.reason,
+        "elapsed": outcome.elapsed,
+        "solver_time": outcome.solver_time,
+        "vcs_checked": outcome.vcs_checked,
+        "complete": outcome.complete,
+        "counterexample": cex,
+        "stats": jsonable_stats(outcome.stats),
+    }
 
 
 @contextmanager

@@ -7,6 +7,10 @@ Commands mirror the library's checkers:
 * ``pugpara races KERNEL.cu --width 8``
 * ``pugpara run KERNEL.cu --bdim 4,1,1 --set n=3 --array data=1,2,3,4``
 * ``pugpara suite`` — list the bundled kernel suite.
+* ``pugpara serve --port 0 --workers 2`` — the long-lived verification
+  server (forwards to ``python -m repro.serve``).
+* ``pugpara client URL [REQUEST.json]`` — send one JSON check request to
+  a running server; exits with the server-reported exit code.
 
 Exit codes (the contract CI and scripts key off):
 
@@ -22,12 +26,13 @@ Exit codes (the contract CI and scripts key off):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .check import (
     check_equivalence, check_functional, check_races, suite_assumptions,
 )
-from .check.result import Verdict, format_solver_stats
+from .check.result import Verdict, format_solver_stats, outcome_to_json
 from .lang import LaunchConfig, check_kernel, parse_kernel, run_kernel
 from .param.equivalence import ParamOptions
 from .smt import QueryCache, RetryPolicy, default_cache, default_jobs
@@ -173,6 +178,12 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--stats", action="store_true",
                        help="print accumulated solver statistics "
                             "(conflicts, decisions, phase times, cache hits)")
+        p.add_argument("--stats-json", nargs="?", const="-", default=None,
+                       metavar="FILE",
+                       help="emit the outcome (verdict, counterexample, "
+                            "stats) as JSON to FILE, or to stdout when "
+                            "FILE is omitted — the same shape the serve "
+                            "API returns")
         p.add_argument("--retries", type=int, default=None, metavar="N",
                        help="retry UNKNOWN solver verdicts up to N times "
                             "under escalated budgets "
@@ -217,6 +228,19 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("suite", help="list the bundled kernel suite")
 
+    p_srv = sub.add_parser(
+        "serve", help="run the long-lived verification server")
+    p_srv.add_argument("serve_args", nargs=argparse.REMAINDER,
+                       help="arguments forwarded to python -m repro.serve")
+
+    p_cl = sub.add_parser(
+        "client", help="send one check request to a running server")
+    p_cl.add_argument("url", help="server base URL, e.g. "
+                                  "http://127.0.0.1:8735")
+    p_cl.add_argument("request", nargs="?", default=None,
+                      help="path to a JSON request object "
+                           "(default: read from stdin)")
+
     args = parser.parse_args(argv)
     try:
         return _dispatch(args)
@@ -228,7 +252,58 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_INTERNAL
 
 
+def _client(args) -> int:
+    """POST one JSON request to a running server, print the response,
+    and exit with the server-reported exit code."""
+    import urllib.error
+    import urllib.request
+
+    if args.request:
+        with open(args.request, encoding="utf-8") as fh:
+            payload = fh.read()
+    else:
+        payload = sys.stdin.read()
+    try:
+        json.loads(payload)
+    except ValueError as exc:
+        print(f"pugpara client: request is not valid JSON: {exc}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    url = args.url.rstrip("/") + "/v1/check"
+    req = urllib.request.Request(
+        url, data=payload.encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=3900) as resp:
+            raw = resp.read()
+    except urllib.error.HTTPError as exc:
+        raw = exc.read()  # 4xx/5xx responses still carry a JSON body
+    except urllib.error.URLError as exc:
+        print(f"pugpara client: cannot reach {url}: {exc.reason}",
+              file=sys.stderr)
+        return EXIT_INTERNAL
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        print(f"pugpara client: unparseable response: {raw[:200]!r}",
+              file=sys.stderr)
+        return EXIT_INTERNAL
+    print(json.dumps(body, indent=2, sort_keys=True))
+    exit_code = body.get("exit_code")
+    return exit_code if isinstance(exit_code, int) else EXIT_INTERNAL
+
+
 def _dispatch(args) -> int:
+    if args.command == "serve":
+        from .serve import main as serve_main
+        serve_args = list(args.serve_args)
+        if serve_args and serve_args[0] == "--":
+            serve_args = serve_args[1:]
+        return serve_main(serve_args)
+
+    if args.command == "client":
+        return _client(args)
+
     if args.command == "suite":
         from .kernels import KERNELS, PAIRS
         print("kernels:")
@@ -257,6 +332,15 @@ def _dispatch(args) -> int:
         print(outcome)
         if getattr(args, "stats", False):
             print(format_solver_stats(outcome))
+        dest = getattr(args, "stats_json", None)
+        if dest:
+            blob = json.dumps(outcome_to_json(outcome), indent=2,
+                              sort_keys=True)
+            if dest == "-":
+                print(blob)
+            else:
+                with open(dest, "w", encoding="utf-8") as fh:
+                    fh.write(blob + "\n")
         if outcome.verdict is Verdict.VERIFIED:
             return EXIT_VERIFIED
         if outcome.verdict is Verdict.BUG:

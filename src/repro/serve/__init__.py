@@ -1,0 +1,22 @@
+"""Long-lived verification serving: warm workers, one shared sharded
+query cache, alpha-invariant in-flight dedup, per-tenant admission
+control.  Entry point: ``python -m repro.serve`` (see :mod:`.app`)."""
+
+from .protocol import (
+    CheckRequest, ProtocolError, canonical_request_key, parse_request,
+    translate_counterexample, verdict_exit_code, verdict_http_status,
+)
+from .quotas import Charge, QuotaExceeded, QuotaLedger, worst_case_charge
+from .session import Session, execute_check
+from .shards import ensure_layout, scan_shards, verify_shards
+from .app import Server, main
+
+__all__ = [
+    "CheckRequest", "ProtocolError", "canonical_request_key",
+    "parse_request", "translate_counterexample", "verdict_exit_code",
+    "verdict_http_status",
+    "Charge", "QuotaExceeded", "QuotaLedger", "worst_case_charge",
+    "Session", "execute_check",
+    "ensure_layout", "scan_shards", "verify_shards",
+    "Server", "main",
+]

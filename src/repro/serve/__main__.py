@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — run the verification server."""
+
+import sys
+
+from .app import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Admission control: per-tenant budget quotas over a sliding window.
+
+A tenant's requests are admitted against two axes — wall-clock seconds
+and CDCL conflicts — the same two budget axes the retry policy escalates
+(:meth:`repro.smt.resilience.RetryPolicy.budgets`).  A request is charged
+its *worst case up front*: the sum of every escalated attempt the policy
+could spend if the solver answered UNKNOWN all the way down the retry
+ladder.  When the check settles, the unused remainder is refunded, so a
+fast verified answer costs what it used, not what it could have used.
+
+Rejection is honest degradation: an over-quota request surfaces as HTTP
+429 (a JSONL ``error``), is never solved, never cached, and never turned
+into a verdict — the contract that the server may refuse work but must
+not answer wrongly.
+
+The ledger is a plain in-process object guarded by one lock; the clock is
+injectable so tests replay window expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..smt.resilience import RetryPolicy
+
+__all__ = ["QuotaExceeded", "Charge", "QuotaLedger", "worst_case_charge"]
+
+
+class QuotaExceeded(Exception):
+    """The tenant's window allowance cannot cover this request."""
+
+    def __init__(self, tenant: str, axis: str, retry_after: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} exhausted its {axis} quota; "
+            f"retry after {retry_after:.1f}s")
+        self.tenant = tenant
+        self.axis = axis
+        self.retry_after = retry_after
+
+
+@dataclass
+class Charge:
+    """One admitted request's reserved budget (a ticket for settlement)."""
+    tenant: str
+    seconds: float
+    conflicts: int
+    window_start: float = 0.0
+    settled: bool = False
+
+
+def worst_case_charge(timeout: float, conflict_budget: int | None,
+                      policy: RetryPolicy) -> tuple[float, int]:
+    """The (seconds, conflicts) a request could spend across every
+    escalated retry attempt — the amount reserved at admission."""
+    seconds = 0.0
+    conflicts = 0
+    for attempt in range(policy.retries + 1):
+        t, c = policy.budgets(timeout, conflict_budget, attempt)
+        seconds += t if t is not None else timeout
+        if c is not None:
+            conflicts += c
+    return seconds, conflicts
+
+
+@dataclass
+class _Bucket:
+    window_start: float
+    seconds_used: float = 0.0
+    conflicts_used: int = 0
+    inflight: int = 0
+
+
+@dataclass
+class QuotaLedger:
+    """Per-tenant sliding-window budget accounting.
+
+    ``seconds_per_window`` / ``conflicts_per_window`` cap what one tenant
+    may reserve inside any ``window``-second span; ``max_inflight`` caps
+    concurrency regardless of budget.  ``None`` on an axis disables it.
+    """
+    seconds_per_window: float | None = None
+    conflicts_per_window: int | None = None
+    window: float = 60.0
+    max_inflight: int | None = None
+    clock: object = time.monotonic
+    _mu: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _buckets: dict = field(default_factory=dict, repr=False)
+
+    def _bucket(self, tenant: str, now: float) -> _Bucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None or now - bucket.window_start >= self.window:
+            inflight = bucket.inflight if bucket is not None else 0
+            bucket = _Bucket(window_start=now, inflight=inflight)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, timeout: float,
+              conflict_budget: int | None,
+              policy: RetryPolicy) -> Charge:
+        """Reserve the request's worst-case budget or raise
+        :class:`QuotaExceeded` — nothing is ever partially admitted."""
+        seconds, conflicts = worst_case_charge(timeout, conflict_budget,
+                                               policy)
+        now = float(self.clock())
+        with self._mu:
+            bucket = self._bucket(tenant, now)
+            retry_after = self.window - (now - bucket.window_start)
+            if self.max_inflight is not None and \
+                    bucket.inflight >= self.max_inflight:
+                raise QuotaExceeded(tenant, "concurrency", retry_after)
+            if self.seconds_per_window is not None and \
+                    bucket.seconds_used + seconds > self.seconds_per_window:
+                raise QuotaExceeded(tenant, "wall-clock", retry_after)
+            if self.conflicts_per_window is not None and conflicts and \
+                    bucket.conflicts_used + conflicts > \
+                    self.conflicts_per_window:
+                raise QuotaExceeded(tenant, "conflict", retry_after)
+            bucket.seconds_used += seconds
+            bucket.conflicts_used += conflicts
+            bucket.inflight += 1
+            return Charge(tenant=tenant, seconds=seconds,
+                          conflicts=conflicts,
+                          window_start=bucket.window_start)
+
+    def settle(self, charge: Charge, seconds_spent: float = 0.0,
+               conflicts_spent: int = 0) -> None:
+        """Release the reservation, keeping only what was actually spent.
+
+        Settling is idempotent; the refund never exceeds the reservation
+        (an over-budget solve still only costs its charge) and applies
+        only while the charge's own admission window is still current — a
+        refund into a fresh window would mint negative usage.
+        """
+        if charge.settled:
+            return
+        charge.settled = True
+        with self._mu:
+            bucket = self._buckets.get(charge.tenant)
+            if bucket is None:
+                return
+            bucket.inflight = max(0, bucket.inflight - 1)
+            if bucket.window_start != charge.window_start:
+                return  # the reservation's window already turned over
+            refund_s = max(0.0, charge.seconds - max(0.0, seconds_spent))
+            refund_c = max(0, charge.conflicts - max(0, conflicts_spent))
+            bucket.seconds_used = max(0.0, bucket.seconds_used - refund_s)
+            bucket.conflicts_used = max(0, bucket.conflicts_used - refund_c)
+
+    def usage(self, tenant: str) -> dict:
+        """The tenant's current-window accounting (for ``/v1/stats``)."""
+        now = float(self.clock())
+        with self._mu:
+            bucket = self._bucket(tenant, now)
+            return {
+                "seconds_used": bucket.seconds_used,
+                "conflicts_used": bucket.conflicts_used,
+                "inflight": bucket.inflight,
+                "window_remaining": self.window - (now -
+                                                   bucket.window_start),
+            }

@@ -107,7 +107,8 @@ from ..errors import SolverError
 __all__ = ["Query", "QueryResult", "solve_query", "solve_all",
            "default_cache", "default_jobs", "resolve_cache",
            "default_incremental", "default_preprocess",
-           "default_portfolio"]
+           "default_portfolio", "set_default_cache", "teardown_pool",
+           "worker_init"]
 
 log = logging.getLogger("repro.smt.dispatch")
 
@@ -158,6 +159,17 @@ def default_cache() -> QueryCache:
             maxsize=int(os.environ.get("PUGPARA_CACHE_SIZE", "4096")),
             disk_dir=os.environ.get("PUGPARA_CACHE_DIR") or None)
     return _default_cache
+
+
+def set_default_cache(cache: QueryCache | None) -> None:
+    """Install (or reset, with ``None``) the process-wide default cache.
+
+    Long-lived processes — the ``repro.serve`` workers — point the default
+    at a shared sharded disk directory once at startup, so every checker
+    invocation that passes ``cache=None`` reads and warms the same store.
+    """
+    global _default_cache
+    _default_cache = cache
 
 
 def resolve_cache(cache: QueryCache | bool | None) -> QueryCache | None:
@@ -313,6 +325,13 @@ def _teardown_pool(pool: ProcessPoolExecutor) -> None:
                 proc.join(1.0)
         except Exception:  # pragma: no cover
             pass
+
+
+#: Public aliases for long-lived embedders (``repro.serve``): the worker
+#: initializer (SIGINT hygiene + optional rlimit) and the no-orphan pool
+#: teardown funnel, so external pools share the dispatcher's guarantees.
+worker_init = _worker_init
+teardown_pool = _teardown_pool
 
 
 # ------------------------------------------------------------ internals

@@ -23,17 +23,33 @@ variables.
 Layers:
 
 * an in-memory LRU (cheap, per-process);
-* an optional on-disk layer (JSON files under ``.pugpara_cache/``), each
+* an optional on-disk layer under a cache directory, **sharded by key
+  prefix** (``<dir>/<prefix>/<key>.json``, 256 two-hex-digit shards), each
   entry carrying a format tag so stale caches from older encodings are
   rejected rather than trusted.
 
-The disk layer defends itself: writes land via temp-file + ``os.replace``
-(never a torn file on a clean filesystem), every payload carries a sha256
-checksum of its entry, and a file that fails to parse or verify — a torn
-write, bit rot, a concurrent writer from a broken run — is **quarantined**
-(renamed to ``<key>.json.corrupt``) so it is inspected once, not re-parsed
-on every lookup.  A stale-but-wellformed format tag is a plain miss, not
-corruption.
+The disk layer is built to be *shared*: N processes — parallel checker
+runs, N server workers, even N machines over a shared filesystem — can
+read and write one cache directory concurrently.
+
+* Writes land via temp-file + ``os.replace`` (never a torn file on a clean
+  filesystem) while holding the target shard's **advisory file lock**
+  (``<shard>/.lock``, ``fcntl.flock``), so two writers of the same key
+  serialize instead of interleaving.
+* Reads are lock-free: the atomic rename means a reader sees the old
+  entry, the new entry, or a miss — never a half-written file.
+* Every payload carries a sha256 checksum of its entry; a file that fails
+  to parse or verify — bit rot, a writer on a filesystem without atomic
+  rename — is **quarantined** (renamed to ``<key>.json.corrupt`` inside
+  its shard, under the shard lock) so it is inspected once, not re-parsed
+  on every lookup.  A stale-but-wellformed format tag is a plain miss,
+  not corruption.
+
+A legacy flat layout (v2: ``<dir>/<key>.json``, one directory for every
+entry) is migrated in place on first use: each flat file's checksum is
+re-verified, valid entries move into their shard, damaged ones are
+quarantined there — no checksummed entry is ever dropped.  The migration
+itself runs under a root-level lock so concurrent processes migrate once.
 """
 
 from __future__ import annotations
@@ -42,7 +58,9 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Any, Iterable, Mapping, Sequence
 
 from . import faults
@@ -50,16 +68,40 @@ from .model import Model
 from .sorts import ARRAY, BOOL, BV, ArraySort, BitVecSort, Sort
 from .terms import Kind, Term
 
+try:  # POSIX advisory locking; degrade to lockless elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
 __all__ = [
-    "FORMAT_TAG", "canonicalize", "canonical_key", "encode_terms",
-    "decode_terms", "model_to_canonical", "model_from_canonical",
-    "QueryCache",
+    "FORMAT_TAG", "SHARD_COUNT", "canonicalize", "canonical_key",
+    "encode_terms", "decode_terms", "model_to_canonical",
+    "model_from_canonical", "QueryCache", "shard_prefix", "migrate_layout",
 ]
 
 #: Bumped whenever the canonical-key traversal, the term encoding, or the
 #: entry layout changes; on-disk entries with a different tag are ignored.
-#: v2: payloads carry a per-entry checksum.
+#: v2: payloads carry a per-entry checksum.  (The sharded *directory*
+#: layout does not bump the tag — entry payloads are unchanged, and the
+#: flat->sharded migration moves files without rewriting them.)
 FORMAT_TAG = "pugpara-qcache-v2"
+
+#: Number of disk shards (two hex digits of the key).
+SHARD_COUNT = 256
+
+
+def shard_prefix(key: str) -> str:
+    """The two-hex-digit shard a key lives in.
+
+    Canonical keys are sha256 hex digests, so their first two characters
+    are uniformly distributed over the 256 shards.  A key that does not
+    look like a hex digest (tests, ad-hoc callers) is hashed first so it
+    still lands in a well-formed shard.
+    """
+    head = key[:2].lower()
+    if len(head) == 2 and all(c in "0123456789abcdef" for c in head):
+        return head
+    return hashlib.sha256(key.encode()).hexdigest()[:2]
 
 
 def _entry_checksum(entry: Any) -> str:
@@ -238,6 +280,123 @@ def model_from_canonical(data: Mapping[str, Any],
 # --------------------------------------------------------------- cache
 
 
+@contextmanager
+def _flock(lock_path: str):
+    """Hold an exclusive advisory lock on ``lock_path``.
+
+    Advisory means cooperating writers serialize; a reader that ignores
+    the lock still only ever sees atomic renames.  On platforms without
+    ``fcntl`` (or a filesystem that refuses locks) this degrades to
+    lockless operation — the atomic-rename + checksum + quarantine layers
+    below remain the correctness backstop.
+    """
+    if fcntl is None:
+        yield
+        return
+    fd = None
+    try:
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+    except OSError:
+        if fd is not None:
+            os.close(fd)
+            fd = None
+    try:
+        yield
+    finally:
+        if fd is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover
+                pass
+            os.close(fd)
+
+
+def _verify_payload(payload: Any, format_tag: str) -> str:
+    """Classify a parsed disk payload: ``"ok"``, ``"stale"`` (wellformed,
+    older format tag), or ``"bad"`` (damaged / checksum mismatch)."""
+    if not isinstance(payload, dict):
+        return "bad"
+    tag = payload.get("tag")
+    entry = payload.get("entry")
+    checksum = payload.get("checksum")
+    if tag != format_tag:
+        # A wellformed payload from another format generation is stale,
+        # not corrupt — leave it for the generation that understands it.
+        return "stale" if isinstance(tag, str) else "bad"
+    if (not isinstance(entry, dict) or "verdict" not in entry
+            or checksum != _entry_checksum(entry)):
+        return "bad"
+    return "ok"
+
+
+def migrate_layout(disk_dir: str | os.PathLike,
+                   format_tag: str = FORMAT_TAG) -> tuple[int, int]:
+    """One-shot migration of a legacy flat cache directory to shards.
+
+    Every ``<key>.json`` directly under ``disk_dir`` is re-verified and
+    moved to ``<disk_dir>/<prefix>/<key>.json``; entries that fail their
+    checksum are quarantined into the shard (``.json.corrupt``), and
+    already-quarantined flat files move alongside them.  Runs under a
+    root-level lock so N processes sharing the directory migrate it once;
+    returns ``(moved, quarantined)`` — valid entries relocated and damaged
+    files quarantined.  Idempotent — a sharded or empty directory is a
+    no-op.
+    """
+    root = os.fspath(disk_dir)
+    if not os.path.isdir(root):
+        return 0, 0
+    try:
+        names = [n for n in os.listdir(root)
+                 if n.endswith(".json") or n.endswith(".json.corrupt")]
+    except OSError:  # pragma: no cover - unreadable cache root
+        return 0, 0
+    if not names:
+        return 0, 0
+    moved = quarantined = 0
+    with _flock(os.path.join(root, ".migrate.lock")):
+        # Re-list under the lock: a concurrent migrator may have won.
+        try:
+            names = [n for n in os.listdir(root)
+                     if n.endswith(".json") or n.endswith(".json.corrupt")]
+        except OSError:  # pragma: no cover
+            return 0, 0
+        for name in sorted(names):
+            src = os.path.join(root, name)
+            key = name[:-len(".json.corrupt")] if name.endswith(".corrupt") \
+                else name[:-len(".json")]
+            shard = os.path.join(root, shard_prefix(key))
+            try:
+                os.makedirs(shard, exist_ok=True)
+            except OSError:  # pragma: no cover
+                continue
+            with _flock(os.path.join(shard, ".lock")):
+                if name.endswith(".corrupt"):
+                    dst = os.path.join(shard, name)
+                else:
+                    try:
+                        with open(src, encoding="utf-8") as fh:
+                            state = _verify_payload(json.load(fh),
+                                                    format_tag)
+                    except (OSError, ValueError):
+                        state = "bad"
+                    if state == "bad":
+                        dst = os.path.join(shard, f"{key}.json.corrupt")
+                        quarantined += 1
+                    else:  # valid or stale-tag: preserved as-is
+                        dst = os.path.join(shard, name)
+                        if state == "ok":
+                            moved += 1
+                try:
+                    if os.path.exists(dst):
+                        os.unlink(src)  # a sharded copy already won
+                    else:
+                        os.replace(src, dst)
+                except OSError:  # pragma: no cover
+                    pass
+    return moved, quarantined
+
+
 class QueryCache:
     """Verdict + model cache keyed by :func:`canonicalize` keys.
 
@@ -246,10 +405,16 @@ class QueryCache:
     maxsize:
         Bound on the in-memory LRU (entries, not bytes).
     disk_dir:
-        When given, entries are also persisted as one JSON file per key under
-        this directory, so a fresh process (another mutation run, a warm
-        bench re-run) starts warm.  Entries are versioned by ``format_tag``;
-        a mismatching tag is treated as a miss.
+        When given, entries are also persisted as one JSON file per key
+        under this directory (sharded by key prefix, see module docs), so
+        a fresh process (another mutation run, a warm bench re-run, a
+        server worker) starts warm — and N concurrent processes can share
+        the directory.  Entries are versioned by ``format_tag``; a
+        mismatching tag is treated as a miss.
+
+    Instances are thread-safe: the in-memory LRU and the stats counters
+    are guarded by a lock, and disk writes serialize per shard via
+    advisory file locks.
     """
 
     def __init__(self, maxsize: int = 4096,
@@ -259,8 +424,10 @@ class QueryCache:
         self.disk_dir = os.fspath(disk_dir) if disk_dir is not None else None
         self.format_tag = format_tag
         self._memory: OrderedDict[str, dict] = OrderedDict()
+        self._mu = threading.Lock()
+        self._migrated = False
         self.stats = {"hits": 0, "misses": 0, "disk_hits": 0, "stores": 0,
-                      "quarantined": 0}
+                      "quarantined": 0, "migrated": 0}
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -273,23 +440,26 @@ class QueryCache:
         An entry is ``{"verdict": str, "model": canonical-model | None,
         "stats": {...}}``.
         """
-        entry = self._memory.get(key)
-        if entry is not None:
-            self._memory.move_to_end(key)
-            self.stats["hits"] += 1
-            return entry
+        with self._mu:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                self.stats["hits"] += 1
+                return entry
         entry = self._disk_lookup(key)
-        if entry is not None:
-            self.stats["hits"] += 1
-            self.stats["disk_hits"] += 1
-            self._remember(key, entry)
-            return entry
-        self.stats["misses"] += 1
-        return None
+        with self._mu:
+            if entry is not None:
+                self.stats["hits"] += 1
+                self.stats["disk_hits"] += 1
+                self._remember(key, entry)
+                return entry
+            self.stats["misses"] += 1
+            return None
 
     def store(self, key: str, entry: dict) -> None:
-        self.stats["stores"] += 1
-        self._remember(key, entry)
+        with self._mu:
+            self.stats["stores"] += 1
+            self._remember(key, entry)
         self._disk_store(key, entry)
 
     def _remember(self, key: str, entry: dict) -> None:
@@ -300,25 +470,55 @@ class QueryCache:
 
     # -- disk layer ---------------------------------------------------
 
-    def _path(self, key: str) -> str:
+    def shard_dir(self, key: str) -> str:
+        """The shard directory ``key`` lives in."""
         assert self.disk_dir is not None
-        return os.path.join(self.disk_dir, f"{key}.json")
+        return os.path.join(self.disk_dir, shard_prefix(key))
+
+    def entry_path(self, key: str) -> str:
+        """The on-disk path of ``key``'s entry (whether or not it exists)."""
+        return os.path.join(self.shard_dir(key), f"{key}.json")
+
+    # Backwards-compatible internal alias (pre-shard callers/tests).
+    _path = entry_path
+
+    def _maybe_migrate(self) -> None:
+        """Lazily migrate a legacy flat layout the first time disk is
+        touched.  Cheap when already sharded (one listdir)."""
+        if self._migrated or self.disk_dir is None:
+            return
+        self._migrated = True
+        try:
+            moved, quarantined = migrate_layout(self.disk_dir,
+                                                self.format_tag)
+        except OSError:  # pragma: no cover - migration is best-effort
+            return
+        if moved or quarantined:
+            with self._mu:
+                self.stats["migrated"] += moved
+                self.stats["quarantined"] += quarantined
 
     def _quarantine(self, key: str) -> None:
-        """Rename a damaged cache file aside (``<key>.json.corrupt``) so a
-        torn or rotted entry is inspected once, not re-parsed per lookup."""
-        path = self._path(key)
-        try:
-            os.replace(path, path + ".corrupt")
-        except OSError:
-            pass
-        self.stats["quarantined"] += 1
+        """Rename a damaged cache file aside (``<key>.json.corrupt`` inside
+        its shard) so a torn or rotted entry is inspected once, not
+        re-parsed per lookup.  Holds the shard lock: a concurrent writer
+        replacing the entry with a fresh valid one wins the rename race
+        cleanly."""
+        path = self.entry_path(key)
+        with _flock(os.path.join(self.shard_dir(key), ".lock")):
+            try:
+                os.replace(path, path + ".corrupt")
+            except OSError:
+                pass
+        with self._mu:
+            self.stats["quarantined"] += 1
 
     def _disk_lookup(self, key: str) -> dict | None:
         if self.disk_dir is None:
             return None
+        self._maybe_migrate()
         try:
-            with open(self._path(key), encoding="utf-8") as fh:
+            with open(self.entry_path(key), encoding="utf-8") as fh:
                 payload = json.load(fh)
         except FileNotFoundError:
             return None
@@ -326,17 +526,13 @@ class QueryCache:
             # Unreadable or torn JSON: damaged, not merely absent.
             self._quarantine(key)
             return None
-        if not isinstance(payload, dict):
-            self._quarantine(key)
-            return None
-        if payload.get("tag") != self.format_tag:
+        state = _verify_payload(payload, self.format_tag)
+        if state == "stale":
             return None  # stale format: a plain miss, never trusted
-        entry = payload.get("entry")
-        checksum = payload.get("checksum")
-        if (not isinstance(entry, dict) or "verdict" not in entry
-                or checksum != _entry_checksum(entry)):
+        if state == "bad":
             self._quarantine(key)
             return None
+        entry = payload["entry"]
         model = entry.get("model")
         if model is not None:
             # JSON turned the int keys into strings; undo that.
@@ -351,6 +547,7 @@ class QueryCache:
     def _disk_store(self, key: str, entry: dict) -> None:
         if self.disk_dir is None:
             return
+        self._maybe_migrate()
         payload = {"tag": self.format_tag,
                    "checksum": _entry_checksum(entry),
                    "entry": entry}
@@ -358,21 +555,42 @@ class QueryCache:
         # Fault-injection point: a corrupt_cache plan garbles the bytes the
         # way a torn write would, exercising the quarantine path.
         data = faults.corrupt_bytes(faults.active(), key, data)
+        shard = self.shard_dir(key)
         try:
-            os.makedirs(self.disk_dir, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(data)
-            os.replace(tmp, self._path(key))
+            os.makedirs(shard, exist_ok=True)
+            with _flock(os.path.join(shard, ".lock")):
+                fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(data)
+                os.replace(tmp, self.entry_path(key))
         except OSError:  # cache is best-effort; never fail the query
             pass
 
     def clear(self, *, disk: bool = False) -> None:
-        self._memory.clear()
-        if disk and self.disk_dir is not None and os.path.isdir(self.disk_dir):
-            for name in os.listdir(self.disk_dir):
-                if name.endswith(".json") or name.endswith(".corrupt"):
+        with self._mu:
+            self._memory.clear()
+        if not (disk and self.disk_dir is not None
+                and os.path.isdir(self.disk_dir)):
+            return
+        roots = [self.disk_dir]
+        roots += [os.path.join(self.disk_dir, n)
+                  for n in os.listdir(self.disk_dir)
+                  if len(n) == 2 and os.path.isdir(
+                      os.path.join(self.disk_dir, n))]
+        for root in roots:
+            try:
+                names = os.listdir(root)
+            except OSError:  # pragma: no cover
+                continue
+            for name in names:
+                if (name.endswith(".json") or name.endswith(".corrupt")
+                        or name in (".lock", ".migrate.lock")):
                     try:
-                        os.unlink(os.path.join(self.disk_dir, name))
+                        os.unlink(os.path.join(root, name))
                     except OSError:
                         pass
+        for root in roots[1:]:
+            try:
+                os.rmdir(root)
+            except OSError:
+                pass

@@ -62,6 +62,34 @@ def test_races_finds_bug(kernel_files, capsys):
     assert "bug" in out
 
 
+def test_stats_json_to_stdout(tmp_path, capsys):
+    import json
+    p = tmp_path / "simple.cu"
+    p.write_text("void f(int *o) { o[tid.x] = 1; }")
+    rc = main(["races", str(p), "--width", "8",
+               "--cbdim", "4,1,1", "--cgdim", "1,1",
+               "--timeout", "120", "--stats-json"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    payload = json.loads(out[out.index("{"):])
+    assert payload["verdict"] == "verified"
+    assert payload["stats"]["solver"]["queries"] >= 1
+
+
+def test_stats_json_to_file(tmp_path, capsys):
+    import json
+    p = tmp_path / "simple.cu"
+    p.write_text("void f(int *o) { o[tid.x] = 1; }")
+    dest = tmp_path / "outcome.json"
+    rc = main(["races", str(p), "--width", "8",
+               "--cbdim", "4,1,1", "--cgdim", "1,1",
+               "--timeout", "120", "--stats-json", str(dest)])
+    assert rc == 0
+    payload = json.loads(dest.read_text())
+    assert payload["verdict"] == "verified"
+    assert "elapsed" in payload and "complete" in payload
+
+
 def test_run_prints_outputs(kernel_files, tmp_path, capsys):
     p = tmp_path / "simple.cu"
     p.write_text("void f(int *o, int n) { o[tid.x] = n + tid.x; }")

@@ -148,4 +148,5 @@ class TestCLI:
         # The on-disk layer now holds the query; a fresh run hits it.
         assert main(argv) == 0
         assert "verified" in capsys.readouterr().out
-        assert any((tmp_path / "qc").glob("*.json"))
+        # entries live under two-hex-digit shard directories
+        assert any((tmp_path / "qc").glob("*/*.json"))

@@ -1,0 +1,141 @@
+"""Protocol-layer unit tests: request validation, the alpha-invariant
+dedup key, counterexample name translation, and the verdict mappings."""
+
+import pytest
+
+from repro.kernels import KERNELS
+from repro.serve.protocol import (
+    ProtocolError, canonical_request_key, parse_request,
+    translate_counterexample, verdict_exit_code, verdict_http_status,
+)
+
+SRC = KERNELS["optimizedTranspose"].source
+
+
+def _races(source=SRC, **over):
+    payload = {"command": "races", "source": source}
+    payload.update(over)
+    return payload
+
+
+class TestParseRequest:
+    def test_minimal_races(self):
+        req = parse_request(_races())
+        assert req.command == "races"
+        assert req.width == 8 and req.timeout == 60.0
+        assert req.tenant == "default"
+
+    def test_dims_accept_lists_and_strings(self):
+        req = parse_request(_races(cbdim=[2, 2], cgdim="2,2"))
+        assert req.cbdim == (2, 2, 1)   # padded to 3
+        assert req.cgdim == (2, 2)
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ("not a dict", "JSON object"),
+        ({}, "command"),
+        ({"command": "run", "source": "x"}, "command"),
+        (_races(source=""), "source"),
+        (_races(target="x"), "target"),
+        ({"command": "equiv", "source": "a"}, "target"),
+        (_races(width=0), "width"),
+        (_races(width="8"), "width"),
+        (_races(timeout=-1), "timeout"),
+        (_races(timeout=True), "timeout"),
+        (_races(scalars={"n": "4"}), "integer"),
+        (_races(scalars=[1]), "scalars"),
+        (_races(method="magic"), "method"),
+        (_races(method="nonparam"), "races"),
+        (_races(bughunt=True), "bughunt"),
+        (_races(tenant=""), "tenant"),
+        (_races(cbdim=[0, 1]), "cbdim"),
+        (_races(cbdim=[1, 1, 1, 1]), "cbdim"),
+        (_races(frobnicate=1), "unknown fields"),
+        ({"command": "func", "source": "x", "method": "nonparam"}, "bdim"),
+    ])
+    def test_rejections_name_the_field(self, payload, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            parse_request(payload)
+
+
+class TestCanonicalKey:
+    def test_alpha_equivalent_kernels_share_a_key(self):
+        renamed = SRC.replace("odata", "zz_out").replace("idata", "zz_in")
+        assert renamed != SRC
+        k1, _ = canonical_request_key(parse_request(_races()))
+        k2, _ = canonical_request_key(parse_request(_races(renamed)))
+        assert k1 == k2
+
+    def test_structural_change_splits_the_key(self):
+        changed = SRC.replace("i < width", "i <= width", 1)
+        assert changed != SRC
+        k1, _ = canonical_request_key(parse_request(_races()))
+        k2, _ = canonical_request_key(parse_request(_races(changed)))
+        assert k1 != k2
+
+    def test_knobs_split_the_key(self):
+        base = parse_request(_races())
+        assert canonical_request_key(base)[0] != \
+            canonical_request_key(parse_request(_races(width=16)))[0]
+        assert canonical_request_key(base)[0] != \
+            canonical_request_key(parse_request(_races(timeout=30)))[0]
+
+    def test_tenant_does_not_split_the_key(self):
+        k1, _ = canonical_request_key(parse_request(_races(tenant="a")))
+        k2, _ = canonical_request_key(parse_request(_races(tenant="b")))
+        assert k1 == k2
+
+    def test_pinned_scalar_names_stay_reserved(self):
+        # Renaming the pinned scalar must NOT collapse onto the original:
+        # the request pins "width" by name, so its spelling is semantic.
+        renamed = SRC.replace("width", "breite")
+        k1, _ = canonical_request_key(
+            parse_request(_races(scalars={"width": 4})))
+        k2, _ = canonical_request_key(
+            parse_request(_races(renamed, scalars={"width": 4})))
+        assert k1 != k2
+
+    def test_pair_degrades_to_textual_identity(self):
+        renamed = SRC.replace("odata", "zz_out")
+        k1, _ = canonical_request_key(
+            parse_request(_races(pair="Transpose")))
+        k2, _ = canonical_request_key(
+            parse_request(_races(renamed, pair="Transpose")))
+        assert k1 != k2  # conservative: never false-shares
+
+    def test_names_follow_first_encounter_order(self):
+        _, names = canonical_request_key(parse_request(_races()))
+        (kernel_names,) = names
+        assert kernel_names  # the kernel's identifiers, in order
+        assert len(kernel_names) == len(set(kernel_names))
+        assert "tid" not in kernel_names  # reserved builtins excluded
+
+
+class TestTranslation:
+    def test_counterexample_names_rebind(self):
+        leader = [["out", "inp", "n"]]
+        follower = [["result", "source", "count"]]
+        cex = {"scalars": {"n": 4, "width": 8},
+               "arrays": {"out": {"0": 1}, "other": {}},
+               "detail": "write out[0]"}
+        got = translate_counterexample(cex, leader, follower)
+        assert got["scalars"] == {"count": 4, "width": 8}
+        assert got["arrays"] == {"result": {"0": 1}, "other": {}}
+        assert got["detail"] == "write out[0]"  # detail text untouched
+
+    def test_none_and_empty_passthrough(self):
+        assert translate_counterexample(None, [["a"]], [["b"]]) is None
+        cex = {"scalars": {"x": 1}}
+        assert translate_counterexample(cex, [[]], [[]]) is cex
+
+
+class TestVerdictMappings:
+    @pytest.mark.parametrize("verdict,status,code", [
+        ("verified", 200, 0),
+        ("bug", 200, 1),
+        ("timeout", 408, 3),
+        ("unknown", 503, 3),
+        ("unsupported", 503, 3),
+    ])
+    def test_contract(self, verdict, status, code):
+        assert verdict_http_status(verdict) == status
+        assert verdict_exit_code(verdict) == code

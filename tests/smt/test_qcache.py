@@ -1,7 +1,9 @@
 """Canonical query cache: keying, serialization, LRU, and the disk layer."""
 
 import json
+import multiprocessing
 import os
+import pathlib
 import subprocess
 import sys
 import textwrap
@@ -12,7 +14,8 @@ from repro.smt import (
 from repro.smt.model import Model
 from repro.smt.qcache import (
     FORMAT_TAG, QueryCache, canonical_key, canonicalize, decode_terms,
-    encode_terms, model_from_canonical, model_to_canonical,
+    encode_terms, migrate_layout, model_from_canonical, model_to_canonical,
+    shard_prefix,
 )
 from repro.smt.sorts import BV
 
@@ -165,14 +168,28 @@ class TestQueryCacheDisk:
 
     def test_rejects_corrupt_file(self, tmp_path):
         cache = QueryCache(disk_dir=tmp_path)
-        (tmp_path / "bad0.json").write_text("{not json")
+        cache.store("feed00", self._entry())
+        os.makedirs(cache.shard_dir("bad0"), exist_ok=True)
+        with open(cache.entry_path("bad0"), "w") as fh:
+            fh.write("{not json")
         assert cache.lookup("bad0") is None
 
     def test_tag_matches_module_constant(self, tmp_path):
         cache = QueryCache(disk_dir=tmp_path)
         cache.store("tagchk", self._entry())
-        payload = json.loads((tmp_path / "tagchk.json").read_text())
+        payload = json.loads(
+            pathlib.Path(cache.entry_path("tagchk")).read_text())
         assert payload["tag"] == FORMAT_TAG
+
+    def test_entries_live_in_prefix_shards(self, tmp_path):
+        cache = QueryCache(disk_dir=tmp_path)
+        cache.store("deadbeef", self._entry())
+        cache.store("cafe01", self._entry())
+        assert (tmp_path / "de" / "deadbeef.json").exists()
+        assert (tmp_path / "ca" / "cafe01.json").exists()
+        # nothing but shard dirs and the migration lock at the root
+        top = {p.name for p in tmp_path.iterdir()}
+        assert not any(n.endswith(".json") for n in top)
 
 
 class TestDiskIntegrity:
@@ -184,36 +201,43 @@ class TestDiskIntegrity:
                 "stats": {"conflicts": 2}}
 
     def test_entries_carry_verifying_checksum(self, tmp_path):
-        QueryCache(disk_dir=tmp_path).store("chk", self._entry())
-        payload = json.loads((tmp_path / "chk.json").read_text())
+        writer = QueryCache(disk_dir=tmp_path)
+        writer.store("chk", self._entry())
+        payload = json.loads(
+            pathlib.Path(writer.entry_path("chk")).read_text())
         assert "checksum" in payload
         assert QueryCache(disk_dir=tmp_path).lookup("chk") is not None
 
     def test_checksum_mismatch_quarantined(self, tmp_path):
-        QueryCache(disk_dir=tmp_path).store("tamper", self._entry())
-        path = tmp_path / "tamper.json"
+        writer = QueryCache(disk_dir=tmp_path)
+        writer.store("tamper", self._entry())
+        path = pathlib.Path(writer.entry_path("tamper"))
         payload = json.loads(path.read_text())
         payload["entry"]["verdict"] = "unsat"  # bit rot / tampering
         path.write_text(json.dumps(payload))
         reader = QueryCache(disk_dir=tmp_path)
         assert reader.lookup("tamper") is None
         assert not path.exists()
-        assert (tmp_path / "tamper.json.corrupt").exists()
+        assert path.with_suffix(".json.corrupt").exists()
         assert reader.stats["quarantined"] == 1
 
-    def test_torn_json_quarantined(self, tmp_path):
-        (tmp_path / "torn.json").write_text('{"tag": "pugpara')
+    def test_torn_json_quarantined_in_shard(self, tmp_path):
         reader = QueryCache(disk_dir=tmp_path)
-        assert reader.lookup("torn") is None
-        assert (tmp_path / "torn.json.corrupt").exists()
+        os.makedirs(reader.shard_dir("feed05"), exist_ok=True)
+        path = pathlib.Path(reader.entry_path("feed05"))
+        path.write_text('{"tag": "pugpara')  # a torn write inside the shard
+        assert reader.lookup("feed05") is None
+        assert path.with_suffix(".json.corrupt").exists()
+        assert reader.stats["quarantined"] == 1
 
     def test_quarantined_file_not_reparsed(self, tmp_path):
-        (tmp_path / "once.json").write_text("{not json")
         reader = QueryCache(disk_dir=tmp_path)
-        assert reader.lookup("once") is None
+        os.makedirs(reader.shard_dir("feed06"), exist_ok=True)
+        pathlib.Path(reader.entry_path("feed06")).write_text("{not json")
+        assert reader.lookup("feed06") is None
         assert reader.stats["quarantined"] == 1
         # second lookup: the damaged file is gone, so it's a plain miss
-        assert reader.lookup("once") is None
+        assert reader.lookup("feed06") is None
         assert reader.stats["quarantined"] == 1
 
     def test_stale_tag_is_miss_not_quarantine(self, tmp_path):
@@ -222,7 +246,8 @@ class TestDiskIntegrity:
         reader = QueryCache(disk_dir=tmp_path)
         assert reader.lookup("0ldie") is None
         assert reader.stats["quarantined"] == 0
-        assert (tmp_path / "0ldie.json").exists()  # left for inspection
+        # left in its shard for the generation that understands it
+        assert pathlib.Path(reader.entry_path("0ldie")).exists()
 
     def test_injected_corruption_survived(self, tmp_path):
         """A corrupt_cache fault garbles the write; the next reader
@@ -235,9 +260,162 @@ class TestDiskIntegrity:
         assert reader.stats["quarantined"] == 1
 
     def test_clear_disk_removes_quarantined(self, tmp_path):
-        (tmp_path / "bad.json").write_text("{not json")
         cache = QueryCache(disk_dir=tmp_path)
         cache.store("good", self._entry())
+        os.makedirs(cache.shard_dir("bad"), exist_ok=True)
+        pathlib.Path(cache.entry_path("bad")).write_text("{not json")
         cache.lookup("bad")  # quarantines
         cache.clear(disk=True)
         assert list(tmp_path.iterdir()) == []
+
+
+def _hammer_writer(disk_dir: str, worker: int, keys: list, barrier) -> None:
+    """Write every key (with worker-distinct payloads) against a shared
+    directory, synchronized so both processes pound the shards at once."""
+    cache = QueryCache(disk_dir=disk_dir)
+    barrier.wait(timeout=30)
+    for round_ in range(5):
+        for key in keys:
+            cache.store(key, {"verdict": "sat",
+                              "model": {"scalars": {0: worker},
+                                        "arrays": {}},
+                              "stats": {"round": round_}})
+
+
+class TestConcurrentShardAccess:
+    """Two processes sharing one cache directory: the sharded layout's
+    per-shard locking + atomic renames must keep every entry wellformed."""
+
+    def _valid_entry(self, path: pathlib.Path) -> bool:
+        payload = json.loads(path.read_text())
+        from repro.smt.qcache import _entry_checksum
+        return payload["checksum"] == _entry_checksum(payload["entry"])
+
+    def test_two_processes_same_shard_race_free(self, tmp_path):
+        # Same two-hex prefix -> every key lands in the *same* shard, so
+        # the writers contend on one lock file.
+        keys = [f"ab{i:04x}" for i in range(8)]
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(2)
+        procs = [ctx.Process(target=_hammer_writer,
+                             args=(str(tmp_path), w, keys, barrier))
+                 for w in (1, 2)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        shard = tmp_path / "ab"
+        assert sorted(p.name for p in shard.glob("*.json")) == \
+            sorted(f"{k}.json" for k in keys)
+        # no torn/corrupt leftovers, every surviving entry verifies
+        assert not list(tmp_path.rglob("*.corrupt"))
+        for key in keys:
+            assert self._valid_entry(shard / f"{key}.json")
+        reader = QueryCache(disk_dir=tmp_path)
+        for key in keys:
+            entry = reader.lookup(key)
+            assert entry is not None
+            assert entry["model"]["scalars"][0] in (1, 2)
+
+    def test_two_processes_disjoint_shards(self, tmp_path):
+        keys_a = [f"aa{i:02x}" for i in range(4)]
+        keys_b = [f"bb{i:02x}" for i in range(4)]
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(2)
+        procs = [ctx.Process(target=_hammer_writer,
+                             args=(str(tmp_path), w, keys, barrier))
+                 for w, keys in ((1, keys_a), (2, keys_b))]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        reader = QueryCache(disk_dir=tmp_path)
+        for key in keys_a + keys_b:
+            assert reader.lookup(key) is not None
+        assert not list(tmp_path.rglob("*.corrupt"))
+
+
+class TestLayoutMigration:
+    """The one-shot v2 (flat) -> sharded migration."""
+
+    def _entry(self, n: int = 0):
+        return {"verdict": "sat",
+                "model": {"scalars": {0: n}, "arrays": {}},
+                "stats": {"conflicts": n}}
+
+    def _flat_payload(self, entry) -> str:
+        from repro.smt.qcache import _entry_checksum
+        return json.dumps({"tag": FORMAT_TAG,
+                           "checksum": _entry_checksum(entry),
+                           "entry": entry})
+
+    def test_flat_entries_preserved(self, tmp_path):
+        keys = [f"{i:02x}feed" for i in range(12)]
+        for i, key in enumerate(keys):
+            (tmp_path / f"{key}.json").write_text(
+                self._flat_payload(self._entry(i)))
+        moved, quarantined = migrate_layout(tmp_path)
+        assert moved == len(keys) and quarantined == 0
+        cache = QueryCache(disk_dir=tmp_path)
+        for i, key in enumerate(keys):
+            entry = cache.lookup(key)
+            assert entry is not None, key
+            assert entry["model"]["scalars"][0] == i
+            assert (tmp_path / shard_prefix(key) / f"{key}.json").exists()
+        # the flat files are gone
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_lazy_migration_on_first_disk_touch(self, tmp_path):
+        (tmp_path / "deafca.json").write_text(
+            self._flat_payload(self._entry(7)))
+        cache = QueryCache(disk_dir=tmp_path)
+        entry = cache.lookup("deafca")
+        assert entry is not None and entry["model"]["scalars"][0] == 7
+        assert cache.stats["migrated"] == 1
+
+    def test_migration_quarantines_damaged_flat_entries(self, tmp_path):
+        (tmp_path / "c0ffee.json").write_text(
+            self._flat_payload(self._entry(1)))
+        (tmp_path / "baddad.json").write_text("{torn")
+        moved, quarantined = migrate_layout(tmp_path)
+        assert moved == 1 and quarantined == 1
+        assert (tmp_path / "ba" / "baddad.json.corrupt").exists()
+        cache = QueryCache(disk_dir=tmp_path)
+        assert cache.lookup("c0ffee") is not None
+        assert cache.lookup("baddad") is None
+
+    def test_migration_idempotent(self, tmp_path):
+        (tmp_path / "f00d00.json").write_text(
+            self._flat_payload(self._entry(3)))
+        assert migrate_layout(tmp_path) == (1, 0)
+        assert migrate_layout(tmp_path) == (0, 0)
+        assert QueryCache(disk_dir=tmp_path).lookup("f00d00") is not None
+
+    def test_concurrent_migrators_preserve_all(self, tmp_path):
+        keys = [f"{i:02x}cafe" for i in range(16)]
+        for i, key in enumerate(keys):
+            (tmp_path / f"{key}.json").write_text(
+                self._flat_payload(self._entry(i)))
+        script = textwrap.dedent(f"""
+            from repro.smt.qcache import migrate_layout
+            migrate_layout({str(tmp_path)!r})
+            print("MIGRATED")
+        """)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        procs = [subprocess.Popen([sys.executable, "-c", script], env=env,
+                                  stdout=subprocess.PIPE, text=True)
+                 for _ in range(2)]
+        for p in procs:
+            out, _ = p.communicate(timeout=120)
+            assert p.returncode == 0 and "MIGRATED" in out
+        cache = QueryCache(disk_dir=tmp_path)
+        for i, key in enumerate(keys):
+            entry = cache.lookup(key)
+            assert entry is not None, key
+            assert entry["model"]["scalars"][0] == i
+        assert not list(tmp_path.rglob("*.corrupt"))
