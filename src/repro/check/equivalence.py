@@ -40,7 +40,8 @@ def check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
                                policy=None,
                                incremental: bool | None = None,
                                preprocess: bool | None = None,
-                               portfolio: int | None = None
+                               portfolio: int | None = None,
+                               certify: bool | None = None
                                ) -> CheckOutcome:
     """Section III baseline: serialize all threads of ``config`` and ask the
     solver for an input on which the outputs differ.
@@ -55,7 +56,7 @@ def check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
             concretize_extent=concretize_extent, timeout=timeout,
             do_simplify=do_simplify, validate=validate, jobs=jobs,
             cache=cache, policy=policy, incremental=incremental,
-            preprocess=preprocess, portfolio=portfolio)
+            preprocess=preprocess, portfolio=portfolio, certify=certify)
 
 
 def _check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
@@ -63,8 +64,8 @@ def _check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
                                 concretize_extent, timeout, do_simplify,
                                 validate, jobs, cache,
                                 policy=None, incremental=None,
-                                preprocess=None,
-                                portfolio=None) -> CheckOutcome:
+                                preprocess=None, portfolio=None,
+                                certify=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     width = config.width
@@ -110,7 +111,7 @@ def _check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
         Query([*constraints, Or(*differs)], timeout=timeout,
               do_simplify=do_simplify),
         cache=cache, policy=policy, incremental=incremental,
-        preprocess=preprocess, portfolio=portfolio)
+        preprocess=preprocess, portfolio=portfolio, certify=certify)
     result = response.verdict
     outcome.vcs_checked = 1
     outcome.solver_time = response.solver_time
@@ -166,7 +167,8 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
                       policy=None,
                       incremental: bool | None = None,
                       preprocess: bool | None = None,
-                      portfolio: int | None = None) -> CheckOutcome:
+                      portfolio: int | None = None,
+                      certify: bool | None = None) -> CheckOutcome:
     """Unified entry point.
 
     ``method="param"`` — the paper's parameterized checker: needs ``width``
@@ -191,6 +193,8 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
             opts.preprocess = preprocess
         if portfolio is not None:
             opts.portfolio = portfolio
+        if certify is not None:
+            opts.certify = certify
         if not validate:
             opts.validate = False
         return check_equivalence_param(
@@ -206,5 +210,5 @@ def check_equivalence(src_info: KernelInfo, tgt_info: KernelInfo, *,
             concretize_extent=concretize_extent,
             timeout=timeout, validate=validate, jobs=jobs, cache=cache,
             policy=policy, incremental=incremental, preprocess=preprocess,
-            portfolio=portfolio)
+            portfolio=portfolio, certify=certify)
     raise ValueError(f"unknown method {method!r}")

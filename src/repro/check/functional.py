@@ -161,7 +161,8 @@ def check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
                               policy=None,
                               incremental: bool | None = None,
                               preprocess: bool | None = None,
-                              portfolio: int | None = None
+                              portfolio: int | None = None,
+                              certify: bool | None = None
                               ) -> CheckOutcome:
     """Refute the kernel's post-conditions at a concrete geometry."""
     with fresh_scope():
@@ -169,14 +170,14 @@ def check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
             info, config, scalar_values=scalar_values, timeout=timeout,
             validate=validate, jobs=jobs, cache=cache, policy=policy,
             incremental=incremental, preprocess=preprocess,
-            portfolio=portfolio)
+            portfolio=portfolio, certify=certify)
 
 
 def _check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
                                scalar_values, timeout, validate, jobs,
                                cache, policy=None, incremental=None,
-                               preprocess=None,
-                               portfolio=None) -> CheckOutcome:
+                               preprocess=None, portfolio=None,
+                               certify=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     width = config.width
@@ -211,7 +212,7 @@ def _check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
         [Query([*constraints, Not(obligation)], timeout=budget)
          for obligation, _ in obligations],
         jobs=jobs, cache=cache, policy=policy, incremental=incremental,
-        preprocess=preprocess, portfolio=portfolio)
+        preprocess=preprocess, portfolio=portfolio, certify=certify)
     for response, (obligation, line) in zip(responses, obligations):
         result = response.verdict
         outcome.vcs_checked += 1
@@ -273,7 +274,8 @@ def check_functional_param(info: KernelInfo, width: int, *,
                            policy=None,
                            incremental: bool | None = None,
                            preprocess: bool | None = None,
-                           portfolio: int | None = None) -> CheckOutcome:
+                           portfolio: int | None = None,
+                           certify: bool | None = None) -> CheckOutcome:
     """Parameterized post-condition checking (loop-free kernels).
 
     The post-condition's array reads are resolved through the kernel's CAs
@@ -286,14 +288,15 @@ def check_functional_param(info: KernelInfo, width: int, *,
             concretize=concretize, timeout=timeout, bughunt=bughunt,
             validate=validate, jobs=jobs, cache=cache, policy=policy,
             incremental=incremental, preprocess=preprocess,
-            portfolio=portfolio)
+            portfolio=portfolio, certify=certify)
 
 
 def _check_functional_param(info: KernelInfo, width: int, *,
                             assumption_builder, concretize, timeout,
                             bughunt, validate, jobs, cache,
                             policy=None, incremental=None,
-                            preprocess=None, portfolio=None) -> CheckOutcome:
+                            preprocess=None, portfolio=None,
+                            certify=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     geometry = Geometry.create(width)
@@ -342,7 +345,8 @@ def _check_functional_param(info: KernelInfo, width: int, *,
         response = solve_query(
             Query([*assumptions, *premises, Not(And(*obligations))],
                   timeout=budget()),
-            cache=cache, policy=policy, portfolio=portfolio)
+            cache=cache, policy=policy, portfolio=portfolio,
+            certify=certify)
         outcome.vcs_checked += 1
         outcome.solver_time += response.solver_time
         outcome.merge_solver_stats(response.stats)
@@ -414,7 +418,7 @@ def _check_functional_param(info: KernelInfo, width: int, *,
                        timeout=budget()) for case in cases],
                 jobs=jobs, cache=cache, policy=policy,
                 incremental=incremental, preprocess=preprocess,
-                portfolio=portfolio)
+                portfolio=portfolio, certify=certify)
             for response in responses:
                 outcome.vcs_checked += 1
                 outcome.solver_time += response.solver_time

@@ -110,7 +110,8 @@ def check_races(info: KernelInfo, width: int = 16, *,
                 policy=None,
                 incremental: bool | None = None,
                 preprocess: bool | None = None,
-                portfolio: int | None = None) -> CheckOutcome:
+                portfolio: int | None = None,
+                certify: bool | None = None) -> CheckOutcome:
     """Check the kernel race-free for any thread count.
 
     A ``VERIFIED`` verdict means no two distinct threads can conflict on any
@@ -128,13 +129,15 @@ def check_races(info: KernelInfo, width: int = 16, *,
                             concretize=concretize, timeout=timeout,
                             validate=validate, jobs=jobs, cache=cache,
                             policy=policy, incremental=incremental,
-                            preprocess=preprocess, portfolio=portfolio)
+                            preprocess=preprocess, portfolio=portfolio,
+                            certify=certify)
 
 
 def _check_races(info: KernelInfo, width: int, *, assumption_builder,
                  concretize, timeout, validate, jobs, cache,
                  policy=None, incremental=None,
-                 preprocess=None, portfolio=None) -> CheckOutcome:
+                 preprocess=None, portfolio=None,
+                 certify=None) -> CheckOutcome:
     start = time.monotonic()
     outcome = CheckOutcome(verdict=Verdict.UNKNOWN)
     geometry = Geometry.create(width)
@@ -202,14 +205,14 @@ def _check_races(info: KernelInfo, width: int, *, assumption_builder,
         [Query([*assumptions, *q.terms, *bounds], timeout=budget())
          for q in queries],
         jobs=jobs, cache=cache, policy=policy, incremental=incremental,
-        preprocess=preprocess, portfolio=portfolio)
+        preprocess=preprocess, portfolio=portfolio, certify=certify)
     need_full = [i for i, r in enumerate(bounded)
                  if r.verdict is not CheckResult.SAT]
     full = dict(zip(need_full, solve_all(
         [Query([*assumptions, *queries[i].terms], timeout=budget())
          for i in need_full],
         jobs=jobs, cache=cache, policy=policy, incremental=incremental,
-        preprocess=preprocess, portfolio=portfolio)))
+        preprocess=preprocess, portfolio=portfolio, certify=certify)))
 
     for i, q in enumerate(queries):
         account(bounded[i])

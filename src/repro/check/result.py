@@ -101,6 +101,7 @@ class CheckOutcome:
                 agg[key] = agg.get(key, 0) + value
         self._merge_resilience(query_stats.get("resilience"))
         self._merge_portfolio(query_stats.get("portfolio"))
+        self._merge_certify(query_stats)
 
     def _merge_resilience(self, res: dict[str, Any] | None) -> None:
         """Fold one query's dispatch-level resilience record (retry
@@ -160,6 +161,25 @@ class CheckOutcome:
         if isinstance(latency, (int, float)):
             agg["cancel_latency_max"] = max(
                 agg.get("cancel_latency_max", 0.0), latency)
+
+    def _merge_certify(self, query_stats: dict[str, Any]) -> None:
+        """Fold one query's proof-certification record into
+        ``stats["certify"]`` (checked/rejected counts, checker spend)."""
+        cert = query_stats.get("certify")
+        if isinstance(cert, dict):
+            agg = self.stats.setdefault("certify", {})
+            for key in ("checked", "rejected", "trivial", "steps",
+                        "verified"):
+                value = cert.get(key)
+                if isinstance(value, (int, float)):
+                    agg[key] = agg.get(key, 0) + value
+            if isinstance(cert.get("time"), (int, float)):
+                agg["time"] = agg.get("time", 0.0) + cert["time"]
+        elif query_stats.get("certified"):
+            # A cache hit whose stored UNSAT entry carries the certified
+            # mark: the proof was checked when the entry was written.
+            agg = self.stats.setdefault("certify", {})
+            agg["cached"] = agg.get("cached", 0) + 1
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         out = f"{self.verdict.value} ({self.elapsed:.2f}s, {self.vcs_checked} VCs)"
@@ -250,6 +270,25 @@ def format_solver_stats(outcome: "CheckOutcome") -> str:
                          + (f", worst ack latency "
                             f"{port['cancel_latency_max']:.3f}s"
                             if port.get("cancel_latency_max") else ""))
+    cert = outcome.stats.get("certify")
+    if cert:
+        lines.append("certify:")
+        lines.append(f"  proofs       {cert.get('checked', 0)} checked"
+                     f"  (trivial: {cert.get('trivial', 0)},"
+                     f" cached: {cert.get('cached', 0)},"
+                     f" rejected: {cert.get('rejected', 0)})")
+        if cert.get("steps") or cert.get("verified"):
+            lines.append(f"  derivations  {int(cert.get('steps', 0))} "
+                         f"logged, {int(cert.get('verified', 0))} "
+                         "re-derived by the checker")
+        if isinstance(cert.get("time"), (int, float)):
+            lines.append(f"  check time   {cert['time']:.3f}s")
+    health = outcome.stats.get("cache")
+    if health:
+        lines.append("cache health:")
+        lines.append(f"  quarantined  {health.get('quarantined', 0)} "
+                     "corrupt disk entr(y/ies) set aside"
+                     f"  (migrated: {health.get('migrated', 0)})")
     return "\n".join(lines)
 
 

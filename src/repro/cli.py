@@ -35,7 +35,9 @@ from .check import (
 from .check.result import Verdict, format_solver_stats, outcome_to_json
 from .lang import LaunchConfig, check_kernel, parse_kernel, run_kernel
 from .param.equivalence import ParamOptions
-from .smt import QueryCache, RetryPolicy, default_cache, default_jobs
+from .smt import (
+    QueryCache, RetryPolicy, default_cache, default_jobs, resolve_cache,
+)
 from .smt.resilience import ESCALATIONS
 
 __all__ = ["main", "EXIT_VERIFIED", "EXIT_REFUTED", "EXIT_USAGE",
@@ -175,6 +177,12 @@ def main(argv: list[str] | None = None) -> int:
                             "verdict wins (N defaults to 3; default: "
                             "PUGPARA_PORTFOLIO, off; at --jobs 1 the arms "
                             "run sequentially with early exit)")
+        p.add_argument("--certify",
+                       action=argparse.BooleanOptionalAction, default=None,
+                       help="require a checked DRAT proof for every UNSAT "
+                            "(VERIFIED) verdict; a failed check degrades "
+                            "the query to inconclusive, never a trusted "
+                            "answer (default: PUGPARA_CERTIFY, off)")
         p.add_argument("--stats", action="store_true",
                        help="print accumulated solver statistics "
                             "(conflicts, decisions, phase times, cache hits)")
@@ -293,6 +301,19 @@ def _client(args) -> int:
     return exit_code if isinstance(exit_code, int) else EXIT_INTERNAL
 
 
+def _attach_cache_health(outcome, cache) -> None:
+    """Fold the effective query cache's health counters into the outcome
+    stats (``--stats`` / ``--stats-json``): quarantined corrupt disk
+    entries and legacy-layout migrations."""
+    resolved = resolve_cache(cache)
+    if resolved is None:
+        return
+    health = {key: resolved.stats.get(key, 0)
+              for key in ("quarantined", "migrated")}
+    if any(health.values()):
+        outcome.stats["cache"] = health
+
+
 def _dispatch(args) -> int:
     if args.command == "serve":
         from .serve import main as serve_main
@@ -327,8 +348,11 @@ def _dispatch(args) -> int:
     incremental = getattr(args, "incremental", None)
     preprocess = getattr(args, "preprocess", None)
     portfolio = getattr(args, "portfolio", None)
+    certify = getattr(args, "certify", None)
 
     def report(outcome) -> int:
+        if getattr(args, "stats", False) or getattr(args, "stats_json", None):
+            _attach_cache_health(outcome, cache)
         print(outcome)
         if getattr(args, "stats", False):
             print(format_solver_stats(outcome))
@@ -362,14 +386,16 @@ def _dispatch(args) -> int:
                                      policy=policy,
                                      incremental=incremental,
                                      preprocess=preprocess,
-                                     portfolio=portfolio))
+                                     portfolio=portfolio,
+                                     certify=certify))
         else:
             outcome = check_equivalence(
                 src, tgt, method="nonparam", config=_config(args),
                 scalar_values=_parse_sets(args.set) or None,
                 timeout=args.timeout, validate=validate, jobs=jobs,
                 cache=cache, policy=policy, incremental=incremental,
-                preprocess=preprocess, portfolio=portfolio)
+                preprocess=preprocess, portfolio=portfolio,
+                certify=certify)
         return report(outcome)
 
     if args.command == "func":
@@ -380,14 +406,16 @@ def _dispatch(args) -> int:
                 assumption_builder=builder, concretize=_concretize(args),
                 timeout=args.timeout, validate=validate, jobs=jobs,
                 cache=cache, policy=policy, incremental=incremental,
-                preprocess=preprocess, portfolio=portfolio)
+                preprocess=preprocess, portfolio=portfolio,
+                certify=certify)
         else:
             outcome = check_functional(
                 info, method="nonparam", config=_config(args),
                 scalar_values=_parse_sets(args.set) or None,
                 timeout=args.timeout, validate=validate, jobs=jobs,
                 cache=cache, policy=policy, incremental=incremental,
-                preprocess=preprocess, portfolio=portfolio)
+                preprocess=preprocess, portfolio=portfolio,
+                certify=certify)
         return report(outcome)
 
     if args.command == "races":
@@ -398,7 +426,8 @@ def _dispatch(args) -> int:
                               timeout=args.timeout, validate=validate,
                               jobs=jobs, cache=cache, policy=policy,
                               incremental=incremental,
-                              preprocess=preprocess, portfolio=portfolio)
+                              preprocess=preprocess, portfolio=portfolio,
+                              certify=certify)
         return report(outcome)
 
     if args.command == "run":

@@ -71,6 +71,7 @@ class ParamOptions:
     incremental: bool | None = None     # shared-prefix batch solving
     preprocess: bool | None = None      # CNF preprocessing in groups
     portfolio: int | None = None        # first-wins strategy racing width
+    certify: bool | None = None         # DRAT-check every UNSAT verdict
 
 
 @dataclass
@@ -108,7 +109,8 @@ class _Run:
             Query(terms, timeout=self.budget(),
                   do_simplify=self.options.simplify),
             cache=self.options.cache, policy=self.options.policy,
-            portfolio=self.options.portfolio)
+            portfolio=self.options.portfolio,
+            certify=self.options.certify)
         self.account(response)
         return response.verdict, response
 
@@ -355,7 +357,8 @@ class _GroupChecker:
                 policy=run.options.policy,
                 incremental=run.options.incremental,
                 preprocess=run.options.preprocess,
-                portfolio=run.options.portfolio)
+                portfolio=run.options.portfolio,
+                certify=run.options.certify)
             for response in responses:
                 run.account(response)
             return responses

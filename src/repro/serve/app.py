@@ -26,9 +26,13 @@ Each request climbs the admission ladder:
 4. **solve** — a warm worker runs the check (:mod:`repro.serve.session`);
 5. **settle** — the reservation is refunded down to actual spend.
 
-Shutdown (SIGTERM/SIGINT or EOF on stdio) drains nothing: in-flight
-futures are cancelled, the pool dies through the dispatcher's no-orphan
-teardown funnel, and the process exits 0.
+Shutdown (SIGTERM/SIGINT or EOF on stdio) is a *graceful drain*:
+in-flight checks run to completion under a configurable deadline
+(``--drain-seconds`` / ``PUGPARA_DRAIN_SECONDS``, default 5s) while any
+request arriving after the signal answers 503 with a ``draining`` body.
+When the last in-flight check settles — or the deadline expires, whichever
+comes first — the listeners close, the pool dies through the dispatcher's
+no-orphan teardown funnel, and the process exits 0.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import signal
 import sys
 from typing import Any
@@ -87,9 +92,14 @@ class Server:
         self._inflight: dict[str, tuple[asyncio.Future, list]] = {}
         self.stats: dict[str, Any] = {
             "requests": 0, "deduped": 0, "rejected": 0, "usage_errors": 0,
-            "internal_errors": 0, "verdicts": {},
+            "internal_errors": 0, "drain_rejected": 0, "certified": 0,
+            "verdicts": {},
         }
         self.closing = asyncio.Event()
+        self.cache_report: dict | None = None  # startup migration report
+        self._active = 0                # requests inside the ladder
+        self._idle = asyncio.Event()   # set whenever _active == 0
+        self._idle.set()
 
     # ------------------------------------------------- the admission ladder
 
@@ -99,12 +109,28 @@ class Server:
         solved, the verdict plus the same stats blocks ``--stats`` prints.
         """
         self.stats["requests"] += 1
+        if self.closing.is_set():
+            # Draining: in-flight checks finish, new work is turned away
+            # (retryable — the client re-sends to the replacement server).
+            self.stats["drain_rejected"] += 1
+            return 503, {"status": "draining",
+                         "error": "server is shutting down", "exit_code": 3}
         try:
             req = parse_request(payload)
         except ProtocolError as exc:
             self.stats["usage_errors"] += 1
             return HTTP_USAGE, {"status": "usage", "error": str(exc),
                                 "exit_code": 2}
+        self._active += 1
+        self._idle.clear()
+        try:
+            return await self._admit_and_solve(req)
+        finally:
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+
+    async def _admit_and_solve(self, req) -> tuple[int, dict]:
         try:
             charge = self.ledger.admit(req.tenant, req.timeout, None,
                                        self.policy)
@@ -155,6 +181,8 @@ class Server:
             verdict = body.get("verdict", "?")
             counts = self.stats["verdicts"]
             counts[verdict] = counts.get(verdict, 0) + 1
+            if body.get("certified"):
+                self.stats["certified"] += 1
         elif body["status"] == "usage":
             body["exit_code"] = 2
             self.stats["usage_errors"] += 1
@@ -163,12 +191,29 @@ class Server:
             self.stats["internal_errors"] += 1
         return status, body
 
+    @property
+    def active(self) -> int:
+        """Requests currently inside the admission ladder."""
+        return self._active
+
+    async def drained(self) -> None:
+        """Resolves once no request is inside the ladder."""
+        await self._idle.wait()
+
     def snapshot(self) -> dict:
         info = dict(self.stats)
         info["inflight"] = len(self._inflight)
         info["workers"] = self.session.workers
+        info["draining"] = self.closing.is_set()
         if self.session.cache_dir:
+            # ``corrupt`` counts quarantined (``.corrupt``) files found on
+            # disk right now — damage set aside by any worker or server
+            # sharing this directory, not just this process.
             info["cache"] = scan_shards(self.session.cache_dir)
+            if self.cache_report:
+                info["cache"]["migrated"] = self.cache_report["migrated"]
+                info["cache"]["quarantined_at_startup"] = \
+                    self.cache_report["quarantined"]
         return info
 
     # ------------------------------------------------------ HTTP transport
@@ -298,12 +343,30 @@ async def _stdio_loop(server: Server) -> None:
     await server.serve_jsonl(reader, write_line)
 
 
+def default_drain_seconds() -> float:
+    """The drain deadline from ``PUGPARA_DRAIN_SECONDS`` (default 5s).
+
+    A malformed or negative value degrades to the default — shutdown
+    behavior must never crash on a bad environment variable.
+    """
+    raw = os.environ.get("PUGPARA_DRAIN_SECONDS")
+    if raw is None or not raw.strip():
+        return 5.0
+    try:
+        value = float(raw)
+    except ValueError:
+        return 5.0
+    return value if value >= 0 else 5.0
+
+
 async def _amain(args) -> int:
+    cache_report = None
     if args.cache_dir:
-        report = ensure_layout(args.cache_dir)
-        if report["migrated"] or report["quarantined"]:
-            print(f"cache migrated: {report['migrated']} entries, "
-                  f"{report['quarantined']} quarantined", file=sys.stderr)
+        cache_report = ensure_layout(args.cache_dir)
+        if cache_report["migrated"] or cache_report["quarantined"]:
+            print(f"cache migrated: {cache_report['migrated']} entries, "
+                  f"{cache_report['quarantined']} quarantined",
+                  file=sys.stderr)
     session = Session(workers=args.workers, cache_dir=args.cache_dir,
                       rlimit_mb=args.rlimit_mb)
     ledger = QuotaLedger(seconds_per_window=args.quota_seconds,
@@ -315,6 +378,7 @@ async def _amain(args) -> int:
         policy = RetryPolicy(retries=args.retries or 0,
                              escalation=args.escalation or "geometric")
     server = Server(session, ledger, policy)
+    server.cache_report = cache_report
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGINT, signal.SIGTERM):
         try:
@@ -355,6 +419,18 @@ async def _amain(args) -> int:
             await server.closing.wait()
     finally:
         server.closing.set()
+        # Graceful drain: listeners stay open (late arrivals answer 503
+        # with a ``draining`` body) while in-flight checks finish, up to
+        # the deadline; then the hard teardown proceeds as before.
+        drain = (args.drain_seconds if args.drain_seconds is not None
+                 else default_drain_seconds())
+        if drain > 0 and server.active:
+            try:
+                await asyncio.wait_for(server.drained(), timeout=drain)
+            except asyncio.TimeoutError:
+                print(f"drain deadline ({drain:g}s) expired with "
+                      f"{server.active} check(s) still in flight",
+                      file=sys.stderr)
         for listener in listeners:
             listener.close()
             await listener.wait_closed()
@@ -404,6 +480,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="retry UNKNOWN verdicts up to N times under "
                              "escalated budgets")
     parser.add_argument("--escalation", choices=ESCALATIONS, default=None)
+    parser.add_argument("--drain-seconds", type=float, default=None,
+                        metavar="S",
+                        help="on shutdown, let in-flight checks finish "
+                             "for up to S seconds while new requests "
+                             "answer 503 (default: "
+                             "PUGPARA_DRAIN_SECONDS or 5; 0 drains "
+                             "nothing)")
     args = parser.parse_args(argv)
     if args.port is None and not args.stdio and not args.socket:
         parser.error("pick at least one transport: --port, --stdio, "

@@ -91,6 +91,7 @@ class CheckRequest:
     scalars: dict[str, int] = field(default_factory=dict)
     validate: bool = True
     bughunt: bool = False
+    certify: bool = False              # DRAT-check every UNSAT verdict
     tenant: str = "default"
 
 
@@ -134,7 +135,7 @@ def parse_request(payload: Any) -> CheckRequest:
     unknown = set(payload) - {
         "command", "source", "target", "method", "width", "timeout",
         "pair", "bdim", "gdim", "cbdim", "cgdim", "scalars", "validate",
-        "bughunt", "tenant"}
+        "bughunt", "certify", "tenant"}
     if unknown:
         raise ProtocolError(
             f"unknown fields: {', '.join(sorted(unknown))}")
@@ -176,8 +177,11 @@ def parse_request(payload: Any) -> CheckRequest:
         scalars[name] = value
     validate = payload.get("validate", True)
     bughunt = payload.get("bughunt", False)
-    if not isinstance(validate, bool) or not isinstance(bughunt, bool):
-        raise ProtocolError("'validate' and 'bughunt' must be booleans")
+    certify = payload.get("certify", False)
+    if not isinstance(validate, bool) or not isinstance(bughunt, bool) \
+            or not isinstance(certify, bool):
+        raise ProtocolError(
+            "'validate', 'bughunt' and 'certify' must be booleans")
     if bughunt and command != "equiv":
         raise ProtocolError("field 'bughunt' is only valid for 'equiv'")
     tenant = payload.get("tenant", "default")
@@ -190,7 +194,8 @@ def parse_request(payload: Any) -> CheckRequest:
         gdim=_opt_dims(payload, "gdim", 2),
         cbdim=_opt_dims(payload, "cbdim", 3),
         cgdim=_opt_dims(payload, "cgdim", 2),
-        scalars=scalars, validate=validate, bughunt=bughunt, tenant=tenant)
+        scalars=scalars, validate=validate, bughunt=bughunt,
+        certify=certify, tenant=tenant)
     if method == "nonparam" and req.bdim is None:
         raise ProtocolError("the nonparam method requires 'bdim'")
     return req
@@ -258,6 +263,9 @@ def canonical_request_key(req: CheckRequest) -> tuple[str, list[list[str]]]:
         "cbdim": req.cbdim, "cgdim": req.cgdim,
         "scalars": sorted(req.scalars.items()),
         "validate": req.validate, "bughunt": req.bughunt,
+        # Certified and uncertified runs of the same check must not share
+        # a response: only the former carries a proof-checked guarantee.
+        "certify": req.certify,
         "streams": streams,
     }, sort_keys=True, separators=(",", ":"))
     key = hashlib.sha256(material.encode("utf-8")).hexdigest()

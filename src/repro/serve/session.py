@@ -67,7 +67,8 @@ def _concretize(req: CheckRequest) -> dict | None:
 def _run_check(req: CheckRequest):
     builder = suite_assumptions(req.pair) if req.pair else None
     common: dict[str, Any] = dict(
-        timeout=req.timeout, validate=req.validate, cache=None)
+        timeout=req.timeout, validate=req.validate, cache=None,
+        certify=req.certify)
     if req.command == "races":
         info = check_kernel(parse_kernel(req.source))
         return check_races(info, req.width, assumption_builder=builder,
@@ -93,7 +94,8 @@ def _run_check(req: CheckRequest):
             assumption_builder=builder, concretize=_concretize(req),
             options=ParamOptions(timeout=req.timeout,
                                  bughunt=req.bughunt,
-                                 validate=req.validate, cache=None))
+                                 validate=req.validate, cache=None,
+                                 certify=req.certify))
     config = LaunchConfig(bdim=req.bdim, gdim=req.gdim or (1, 1),
                           width=req.width)
     return check_equivalence(
@@ -120,6 +122,10 @@ def execute_check(fields: dict) -> dict:
                 "error": f"{type(exc).__name__}: {exc}"}
     body = outcome_to_json(outcome)
     body["status"] = "ok"
+    if req.certify and body.get("verdict") == "verified":
+        # Under certify a rejected proof degrades the query to UNKNOWN,
+        # so a surviving VERIFIED is proof-checked by construction.
+        body["certified"] = True
     body.setdefault("elapsed", time.monotonic() - start)
     return body
 

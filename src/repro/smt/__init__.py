@@ -37,6 +37,7 @@ from .substitute import evaluate, substitute
 from .printer import script_smtlib, to_smtlib, to_str
 from .model import Model
 from .sat import SATConfig
+from .sat.proof import CheckedProof, ProofLog, check_proof
 from .solver import CheckResult, Solver, check_valid, is_satisfiable
 from .preprocess import Preprocessor, preprocess
 from .incremental import GroupResult, plan_groups, solve_group
@@ -45,9 +46,9 @@ from .portfolio import (
     ArmSpec, default_ladder, default_width, effective_width, run_arm,
 )
 from .dispatch import (
-    Query, QueryResult, default_cache, default_incremental, default_jobs,
-    default_portfolio, default_preprocess, resolve_cache, solve_all,
-    solve_query,
+    Query, QueryResult, default_cache, default_certify, default_incremental,
+    default_jobs, default_portfolio, default_preprocess, resolve_cache,
+    solve_all, solve_query,
 )
 from .resilience import ESCALATIONS, RetryPolicy, default_policy
 from .faults import FaultPlan, InjectedFault
@@ -71,6 +72,8 @@ __all__ = [
     # solving
     "CheckResult", "Model", "SATConfig", "Solver", "check_valid",
     "is_satisfiable",
+    # proof certification
+    "CheckedProof", "ProofLog", "check_proof", "default_certify",
     # preprocessing + incremental batches
     "Preprocessor", "preprocess",
     "GroupResult", "plan_groups", "solve_group",

@@ -105,8 +105,8 @@ from .terms import Term
 from ..errors import SolverError
 
 __all__ = ["Query", "QueryResult", "solve_query", "solve_all",
-           "default_cache", "default_jobs", "resolve_cache",
-           "default_incremental", "default_preprocess",
+           "default_cache", "default_certify", "default_jobs",
+           "resolve_cache", "default_incremental", "default_preprocess",
            "default_portfolio", "set_default_cache", "teardown_pool",
            "worker_init"]
 
@@ -231,6 +231,12 @@ def default_preprocess() -> bool:
 def default_portfolio() -> int | None:
     """Portfolio width from ``PUGPARA_PORTFOLIO`` (None = off)."""
     return default_width()
+
+
+def default_certify() -> bool:
+    """Whether UNSAT verdicts require a checked DRAT proof by default
+    (``PUGPARA_CERTIFY``, off unless set)."""
+    return _env_flag("PUGPARA_CERTIFY", False)
 
 
 def _pool_retries() -> int:
@@ -362,7 +368,7 @@ _Outcome = tuple[CheckResult, Model | None, dict]
 def _solve_local_guarded(query: Query, timeout: float | None,
                          conflict_budget: int | None,
                          plan: FaultPlan | None, key: str,
-                         salt: int) -> _Outcome:
+                         salt: int, certify: bool = False) -> _Outcome:
     """Solve in-process; any failure degrades to UNKNOWN with the error
     recorded — the parent process must survive every query."""
     start = time.monotonic()
@@ -371,7 +377,8 @@ def _solve_local_guarded(query: Query, timeout: float | None,
         faults.maybe_raise(plan, "local", key, salt)
         solver = Solver(timeout=timeout, conflict_budget=conflict_budget,
                         do_simplify=query.do_simplify,
-                        validate_models=query.validate_models)
+                        validate_models=query.validate_models,
+                        certify=certify)
         solver.add(*query.assertions)
         verdict = solver.check()
         model = solver.model() if verdict is CheckResult.SAT else None
@@ -403,7 +410,7 @@ def _project_model(model: Model) -> dict:
 def _worker_solve(payload: tuple) -> tuple[str, dict | None, dict]:
     """Executed in a worker process: decode, solve, project the model."""
     (blob, timeout, conflict_budget, do_simplify, validate_models,
-     key, fault_spec, salt) = payload
+     key, fault_spec, salt, certify) = payload
     plan = FaultPlan.from_spec(fault_spec) if fault_spec else None
     # Injection points: a crash kills this worker abruptly (the parent sees
     # BrokenProcessPool); a raised fault propagates through the future (the
@@ -415,7 +422,8 @@ def _worker_solve(payload: tuple) -> tuple[str, dict | None, dict]:
         terms = decode_terms(blob)
         solver = Solver(timeout=timeout, conflict_budget=conflict_budget,
                         do_simplify=do_simplify,
-                        validate_models=validate_models)
+                        validate_models=validate_models,
+                        certify=certify)
         solver.add(*terms)
         verdict = solver.check()
     except MemoryError:
@@ -437,7 +445,8 @@ def _worker_solve_group(payload: tuple) -> list[tuple[str, str, dict | None,
     the leader takes the unit down as one (and requeues as one).
     """
     (blob, plen, lens, timeouts, conflict_budgets, do_simplify,
-     validate_models, preprocess, keys, fault_spec, salt) = payload
+     validate_models, preprocess, keys, fault_spec, salt,
+     certify) = payload
     plan = FaultPlan.from_spec(fault_spec) if fault_spec else None
     faults.maybe_crash(plan, keys[0], salt)
     faults.maybe_delay(plan, "worker", keys[0], salt)
@@ -453,7 +462,8 @@ def _worker_solve_group(payload: tuple) -> list[tuple[str, str, dict | None,
         group = solve_group(prefix, residuals, timeouts=timeouts,
                             conflict_budgets=conflict_budgets,
                             do_simplify=do_simplify, preprocess=preprocess,
-                            validate_models=validate_models)
+                            validate_models=validate_models,
+                            certify=certify)
     except MemoryError:
         return [(key, CheckResult.UNKNOWN.value, None,
                  {"error": "memory exhausted"}) for key in keys]
@@ -476,7 +486,7 @@ def _worker_solve_arm(payload: tuple) -> tuple[str, dict | None, dict]:
     supervisor's escalation ladder actually escalates.
     """
     (blob, timeout, conflict_budget, do_simplify, validate_models,
-     key, fault_spec, salt, slot, arm) = payload
+     key, fault_spec, salt, slot, arm, certify) = payload
     plan = FaultPlan.from_spec(fault_spec) if fault_spec else None
     faults.maybe_crash(plan, key, salt)
     faults.maybe_delay(plan, "worker", key, salt)
@@ -493,7 +503,7 @@ def _worker_solve_arm(payload: tuple) -> tuple[str, dict | None, dict]:
         verdict, model, stats = run_arm(
             arm, terms, timeout=timeout, conflict_budget=conflict_budget,
             do_simplify=do_simplify, validate_models=validate_models,
-            cancel=cancel)
+            cancel=cancel, certify=certify)
     except MemoryError:
         return CheckResult.UNKNOWN.value, None, {"error": "memory exhausted"}
     model_blob = (_project_model(model)
@@ -504,7 +514,8 @@ def _worker_solve_arm(payload: tuple) -> tuple[str, dict | None, dict]:
 
 def _group_payload(preps: list[_Prepared], plen: int,
                    budgets: dict[str, tuple[float | None, int | None]],
-                   preprocess: bool, spec: Any, salt: int) -> tuple:
+                   preprocess: bool, spec: Any, salt: int,
+                   certify: bool) -> tuple:
     """Flatten a shared-prefix group into one picklable worker payload."""
     prefix = list(preps[0].work[:plen])
     residuals = [list(p.work[plen:]) for p in preps]
@@ -513,7 +524,7 @@ def _group_payload(preps: list[_Prepared], plen: int,
             [budgets[p.key][0] for p in preps],
             [budgets[p.key][1] for p in preps],
             preps[0].query.do_simplify, preps[0].query.validate_models,
-            preprocess, [p.key for p in preps], spec, salt)
+            preprocess, [p.key for p in preps], spec, salt, certify)
 
 
 def _model_from_names(blob: dict | None,
@@ -536,14 +547,18 @@ def _model_from_names(blob: dict | None,
 
 
 def _cache_entry(verdict: CheckResult, model: Model | None,
-                 varmap: dict[Term, int], stats: dict) -> dict:
-    return {
+                 varmap: dict[Term, int], stats: dict,
+                 certified: bool = False) -> dict:
+    entry = {
         "verdict": verdict.value,
         "model": (model_to_canonical(model, varmap)
                   if model is not None else None),
         "stats": {k: v for k, v in stats.items()
                   if isinstance(v, (int, float))},
     }
+    if certified:
+        entry["certified"] = True
+    return entry
 
 
 def _result_from_entry(entry: dict, varmap: dict[Term, int],
@@ -555,6 +570,8 @@ def _result_from_entry(entry: dict, varmap: dict[Term, int],
     stats = dict(entry.get("stats") or {})
     stats["cache_hit"] = True
     stats["time"] = 0.0  # a hit costs no solver time *now*
+    if entry.get("certified"):
+        stats["certified"] = True
     return QueryResult(verdict=verdict, stats=stats, cached=True, tag=tag,
                        _model=model)
 
@@ -605,7 +622,8 @@ def _finalize_portfolio(port: dict) -> None:
 def _race_serial(prep: _Prepared,
                  budget: tuple[float | None, int | None],
                  plan: FaultPlan | None, events: dict,
-                 attempt: int, requeue: int, width: int) -> _Outcome:
+                 attempt: int, requeue: int, width: int,
+                 certify: bool = False) -> _Outcome:
     """Serial-degradation racing: try the arms in ladder order in-process,
     stopping at the first conclusive verdict.
 
@@ -634,7 +652,8 @@ def _race_serial(prep: _Prepared,
                 arm, list(prep.query.assertions), timeout=timeout,
                 conflict_budget=conflicts,
                 do_simplify=prep.query.do_simplify,
-                validate_models=prep.query.validate_models)
+                validate_models=prep.query.validate_models,
+                certify=certify)
         except MemoryError:
             verdict, model, stats = CheckResult.UNKNOWN, None, {
                 "error": "memory exhausted"}
@@ -739,7 +758,7 @@ def _drain_stragglers(strag: _Straggler, events: dict) -> bool:
 def _race_pooled(pool: ProcessPoolExecutor, flags, arms: list[ArmSpec],
                  prep: _Prepared, budget: tuple[float | None, int | None],
                  spec: Any, attempt: int, requeue: int, interval: float,
-                 grace: float, events: dict
+                 grace: float, events: dict, certify: bool = False
                  ) -> tuple[_Outcome | None, _Straggler | None, bool]:
     """Race one query's arms on the pool, first conclusive verdict wins.
 
@@ -761,7 +780,7 @@ def _race_pooled(pool: ProcessPoolExecutor, flags, arms: list[ArmSpec],
             payload = (encode_terms(prep.work), timeout, conflicts,
                        prep.query.do_simplify, prep.query.validate_models,
                        prep.key, spec, _arm_salt(attempt, requeue, slot),
-                       slot, arm)
+                       slot, arm, certify)
             futures[pool.submit(_worker_solve_arm, payload)] = (slot, arm)
     except BrokenExecutor:
         return None, None, False
@@ -890,7 +909,8 @@ def _race_outcome(winner: tuple[int, CheckResult, dict | None, dict],
 def _solve_wave_portfolio(wave: list[_Prepared],
                           budgets: dict[str, tuple[float | None, int | None]],
                           jobs: int, plan: FaultPlan | None, events: dict,
-                          attempt: int, width: int) -> dict[str, _Outcome]:
+                          attempt: int, width: int,
+                          certify: bool = False) -> dict[str, _Outcome]:
     """Solve one wave with portfolio racing, query by query.
 
     Arms share one pool of ``min(width, jobs)`` workers — never
@@ -907,7 +927,7 @@ def _solve_wave_portfolio(wave: list[_Prepared],
         for prep in wave:
             results[prep.key] = _race_serial(
                 prep, budgets[prep.key], plan, events, attempt, 0,
-                width_eff)
+                width_eff, certify)
         return results
 
     arms = default_ladder(width_eff)
@@ -928,7 +948,7 @@ def _solve_wave_portfolio(wave: list[_Prepared],
             if events.get("degraded"):
                 results[prep.key] = _race_serial(
                     prep, budgets[prep.key], plan, events, attempt,
-                    requeue, width_eff)
+                    requeue, width_eff, certify)
                 continue
             if straggler is not None:
                 if not _drain_stragglers(straggler, events):
@@ -945,7 +965,7 @@ def _solve_wave_portfolio(wave: list[_Prepared],
                 flags[slot] = 0
             outcome, straggler, pool_ok = _race_pooled(
                 pool, flags, arms, prep, budgets[prep.key], spec,
-                attempt, requeue, interval, grace, events)
+                attempt, requeue, interval, grace, events, certify)
             if not pool_ok:
                 straggler = None
                 if pool is not None:
@@ -964,7 +984,7 @@ def _solve_wave_portfolio(wave: list[_Prepared],
                         "degrading to serial arm attempts", failures)
                     results[prep.key] = _race_serial(
                         prep, budgets[prep.key], plan, events, attempt,
-                        requeue + 1, width_eff)
+                        requeue + 1, width_eff, certify)
                     continue
                 sleep = min(1.0, backoff * (2 ** (failures - 1)))
                 log.warning(
@@ -987,7 +1007,8 @@ def _solve_wave_portfolio(wave: list[_Prepared],
 def _solve_wave_pool(wave: list[_Prepared],
                      budgets: dict[str, tuple[float | None, int | None]],
                      jobs: int, plan: FaultPlan | None, events: dict,
-                     attempt: int) -> dict[str, _Outcome]:
+                     attempt: int,
+                     certify: bool = False) -> dict[str, _Outcome]:
     """Solve one wave of leaders on worker processes, surviving crashes.
 
     A broken pool requeues the unfinished queries and is rebuilt under
@@ -1014,7 +1035,8 @@ def _solve_wave_pool(wave: list[_Prepared],
                 payload = (encode_terms(prep.work), timeout, conflicts,
                            prep.query.do_simplify,
                            prep.query.validate_models,
-                           prep.key, spec, _attempt_salt(attempt, requeue))
+                           prep.key, spec, _attempt_salt(attempt, requeue),
+                           certify)
                 futures[pool.submit(_worker_solve, payload)] = (prep,
                                                                 requeue)
             for future, (prep, requeue) in futures.items():
@@ -1057,7 +1079,7 @@ def _solve_wave_pool(wave: list[_Prepared],
                 timeout, conflicts = budgets[prep.key]
                 results[prep.key] = _solve_local_guarded(
                     prep.query, timeout, conflicts, plan, prep.key,
-                    _attempt_salt(attempt, requeue))
+                    _attempt_salt(attempt, requeue), certify)
             break
         sleep = min(1.0, backoff * (2 ** (failures - 1)))
         log.warning(
@@ -1074,7 +1096,7 @@ def _solve_group_local_guarded(
         preps: list[_Prepared], plen: int,
         budgets: dict[str, tuple[float | None, int | None]],
         plan: FaultPlan | None, salt: int,
-        preprocess: bool) -> dict[str, _Outcome]:
+        preprocess: bool, certify: bool = False) -> dict[str, _Outcome]:
     """Solve a shared-prefix group in-process; failures degrade every
     member to UNKNOWN with the error recorded."""
     leader_key = preps[0].key
@@ -1090,7 +1112,8 @@ def _solve_group_local_guarded(
             do_simplify=preps[0].query.do_simplify,
             preprocess=preprocess,
             validate_models=preps[0].query.validate_models,
-            originals=[list(p.query.assertions) for p in preps])
+            originals=[list(p.query.assertions) for p in preps],
+            certify=certify)
         return {p.key: outcome for p, outcome in zip(preps, group)}
     except MemoryError:
         error = {"error": "memory exhausted",
@@ -1115,8 +1138,8 @@ def _unit_keys(unit: _Unit) -> list[str]:
 def _solve_pool_mixed(units: list[_Unit],
                       budgets: dict[str, tuple[float | None, int | None]],
                       jobs: int, plan: FaultPlan | None, events: dict,
-                      attempt: int,
-                      preprocess: bool) -> dict[str, _Outcome]:
+                      attempt: int, preprocess: bool,
+                      certify: bool = False) -> dict[str, _Outcome]:
     """Solve a mix of singleton queries and shared-prefix groups on one
     worker pool, surviving crashes.
 
@@ -1150,13 +1173,13 @@ def _solve_pool_mixed(units: list[_Unit],
                     payload = (encode_terms(prep.work), timeout, conflicts,
                                prep.query.do_simplify,
                                prep.query.validate_models,
-                               prep.key, spec, salt)
+                               prep.key, spec, salt, certify)
                     future = pool.submit(_worker_solve, payload)
                 else:
                     future = pool.submit(
                         _worker_solve_group,
                         _group_payload(unit[1], unit[2], budgets,
-                                       preprocess, spec, salt))
+                                       preprocess, spec, salt, certify))
                 futures[future] = (unit, requeue)
             for future, (unit, requeue) in futures.items():
                 try:
@@ -1203,10 +1226,11 @@ def _solve_pool_mixed(units: list[_Unit],
                     prep = unit[1]
                     results[prep.key] = _solve_local_guarded(
                         prep.query, *budgets[prep.key], plan, prep.key,
-                        salt)
+                        salt, certify)
                 else:
                     results.update(_solve_group_local_guarded(
-                        unit[1], unit[2], budgets, plan, salt, preprocess))
+                        unit[1], unit[2], budgets, plan, salt, preprocess,
+                        certify))
             break
         sleep = min(1.0, backoff * (2 ** (failures - 1)))
         log.warning(
@@ -1223,7 +1247,8 @@ def _solve_wave_incremental(
         wave: list[_Prepared],
         budgets: dict[str, tuple[float | None, int | None]],
         jobs: int, plan: FaultPlan | None, events: dict, attempt: int,
-        preprocess: bool) -> dict[str, _Outcome] | None:
+        preprocess: bool,
+        certify: bool = False) -> dict[str, _Outcome] | None:
     """Partition a wave into shared-prefix groups and solve incrementally.
 
     Returns ``None`` when no viable group exists — the caller falls back
@@ -1254,17 +1279,19 @@ def _solve_wave_incremental(
     units.extend(("single", prep) for prep in singles)
     if jobs > 1 and len(units) > 1 and not events.get("degraded"):
         return _solve_pool_mixed(units, budgets, jobs, plan, events,
-                                 attempt, preprocess)
+                                 attempt, preprocess, certify)
     results: dict[str, _Outcome] = {}
     salt = _attempt_salt(attempt, 0)
     for unit in units:
         if unit[0] == "single":
             prep = unit[1]
             results[prep.key] = _solve_local_guarded(
-                prep.query, *budgets[prep.key], plan, prep.key, salt)
+                prep.query, *budgets[prep.key], plan, prep.key, salt,
+                certify)
         else:
             results.update(_solve_group_local_guarded(
-                unit[1], unit[2], budgets, plan, salt, preprocess))
+                unit[1], unit[2], budgets, plan, salt, preprocess,
+                certify))
     return results
 
 
@@ -1288,8 +1315,8 @@ def _attempt_record(attempt: int, timeout: float | None,
 def _solve_batch(leaders: list[_Prepared], *, jobs: int,
                  policy: RetryPolicy, plan: FaultPlan | None,
                  events: dict, incremental: bool = False,
-                 preprocess: bool = True,
-                 portfolio: int = 0) -> dict[str, _Outcome]:
+                 preprocess: bool = True, portfolio: int = 0,
+                 certify: bool = False) -> dict[str, _Outcome]:
     """Solve every leader, retrying UNKNOWNs under escalated budgets."""
     outcomes: dict[str, _Outcome] = {}
     records: dict[str, list[dict]] = {p.key: [] for p in leaders}
@@ -1305,22 +1332,24 @@ def _solve_batch(leaders: list[_Prepared], *, jobs: int,
             # Portfolio racing subsumes the strategy choice — incremental
             # and preprocessed solving are arms of the ladder.
             solved = _solve_wave_portfolio(wave, budgets, jobs, plan,
-                                           events, attempt, portfolio)
+                                           events, attempt, portfolio,
+                                           certify)
         elif incremental and len(wave) > 1:
             # Retries re-enter the same grouping each attempt; the salt
             # advances with the attempt so faults draw fresh decisions.
             solved = _solve_wave_incremental(wave, budgets, jobs, plan,
-                                             events, attempt, preprocess)
+                                             events, attempt, preprocess,
+                                             certify)
         if solved is not None:
             pass
         elif jobs > 1 and len(wave) > 1 and not events.get("degraded"):
             solved = _solve_wave_pool(wave, budgets, jobs, plan, events,
-                                      attempt)
+                                      attempt, certify)
         else:
             solved = {
                 p.key: _solve_local_guarded(
                     p.query, *budgets[p.key], plan, p.key,
-                    _attempt_salt(attempt, 0))
+                    _attempt_salt(attempt, 0), certify)
                 for p in wave}
         retry: list[_Prepared] = []
         for p in wave:
@@ -1369,7 +1398,8 @@ def solve_query(query: Query,
                 policy: RetryPolicy | None = None,
                 incremental: bool | None = None,
                 preprocess: bool | None = None,
-                portfolio: int | None = None) -> QueryResult:
+                portfolio: int | None = None,
+                certify: bool | None = None) -> QueryResult:
     """Solve one query in-process, through the canonical cache.
 
     A single query never forms a shared-prefix group, so ``incremental``
@@ -1379,7 +1409,7 @@ def solve_query(query: Query,
     """
     return solve_all([query], jobs=1, cache=cache, policy=policy,
                      incremental=incremental, preprocess=preprocess,
-                     portfolio=portfolio)[0]
+                     portfolio=portfolio, certify=certify)[0]
 
 
 def solve_all(queries: Sequence[Query], *, jobs: int | None = None,
@@ -1387,7 +1417,8 @@ def solve_all(queries: Sequence[Query], *, jobs: int | None = None,
               policy: RetryPolicy | None = None,
               incremental: bool | None = None,
               preprocess: bool | None = None,
-              portfolio: int | None = None) -> list[QueryResult]:
+              portfolio: int | None = None,
+              certify: bool | None = None) -> list[QueryResult]:
     """Solve every query; results come back in input order.
 
     ``jobs > 1`` fans cache misses out to that many worker processes.
@@ -1411,6 +1442,14 @@ def solve_all(queries: Sequence[Query], *, jobs: int | None = None,
     ``stats["portfolio"]``.  Verdicts match single-strategy solving;
     which arm's (equally valid) model wins at ``jobs>=2`` is
     wall-clock-dependent.
+
+    ``certify`` (default: :func:`default_certify`, i.e.
+    ``PUGPARA_CERTIFY``) requires every UNSAT verdict to carry a checked
+    DRAT proof; a rejected proof surfaces as UNKNOWN with
+    ``stats["certify"]["rejected"]`` set and — like every UNKNOWN — is
+    never cached.  Certified runs also refuse *uncertified* cached UNSAT
+    entries (treated as misses and re-proved), so a certified answer is
+    never laundered through an uncertified cache line.
     """
     if jobs is None:
         jobs = default_jobs()
@@ -1422,6 +1461,8 @@ def solve_all(queries: Sequence[Query], *, jobs: int | None = None,
         preprocess = default_preprocess()
     if portfolio is None:
         portfolio = default_portfolio() or 0
+    if certify is None:
+        certify = default_certify()
     cache_obj = resolve_cache(cache)
     plan = faults.active()
     results: list[QueryResult | None] = [None] * len(queries)
@@ -1432,7 +1473,11 @@ def solve_all(queries: Sequence[Query], *, jobs: int | None = None,
     for i, query in enumerate(queries):
         prep = _prepare(i, query)
         entry = cache_obj.lookup(prep.key) if cache_obj is not None else None
-        if entry is not None and entry["verdict"] != CheckResult.UNKNOWN.value:
+        if (entry is not None
+                and entry["verdict"] != CheckResult.UNKNOWN.value
+                and (not certify
+                     or entry["verdict"] != CheckResult.UNSAT.value
+                     or entry.get("certified"))):
             results[i] = _result_from_entry(entry, prep.varmap, query.tag)
             continue
         if prep.key not in groups:
@@ -1448,7 +1493,8 @@ def solve_all(queries: Sequence[Query], *, jobs: int | None = None,
     events: dict = {}
     solved = _solve_batch(leaders, jobs=jobs, policy=policy, plan=plan,
                           events=events, incremental=incremental,
-                          preprocess=preprocess, portfolio=portfolio)
+                          preprocess=preprocess, portfolio=portfolio,
+                          certify=certify)
     entries: dict[str, dict] = {}
     leader_models: dict[str, Model | None] = {}
     for prep in leaders:
@@ -1463,10 +1509,17 @@ def solve_all(queries: Sequence[Query], *, jobs: int | None = None,
         entry = entries[key]
         verdict = CheckResult(entry["verdict"])
         if cache_obj is not None and verdict is not CheckResult.UNKNOWN:
-            # UNKNOWN is budget-dependent, never cacheable.
+            # UNKNOWN is budget-dependent, never cacheable — which also
+            # covers certify-rejected verdicts (they arrive here as
+            # UNKNOWN, so a failed proof can never poison the cache).
+            # Under certify every UNSAT that reaches this point carries a
+            # checked (or trivially certified) proof: record that, so
+            # later certified runs can trust the hit.
+            certified = bool(certify and verdict is CheckResult.UNSAT)
             cache_obj.store(key, _cache_entry(
                 verdict, leader_models[key],
-                groups[key][0].varmap, entry["stats"]))
+                groups[key][0].varmap, entry["stats"],
+                certified=certified))
         for rank, prep in enumerate(groups[key]):
             if rank == 0:
                 results[prep.index] = QueryResult(

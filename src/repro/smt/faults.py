@@ -13,7 +13,11 @@ failure points and a :class:`FaultPlan` describing which faults to inject:
   the cooperative cancel token), exercising the supervisor's escalation
   from cancel to hard worker kill;
 * ``cancel_ignored`` — an arm runs with its cancel token disconnected, so
-  only its own budget or the supervisor's deadline can stop it.
+  only its own budget or the supervisor's deadline can stop it;
+* ``flip_unsat``     — the solver *lies*: a satisfiable query is reported
+  UNSAT, the false-VERIFIED failure mode proof certification exists to
+  catch (with ``--certify`` the bogus verdict is rejected to UNKNOWN;
+  without it the lie is invisible — that is the demonstrated trust gap).
 
 Decisions are **deterministic**: whether a fault fires at a given site is a
 pure function of ``(seed, site, key, salt)`` — a sha256-derived fraction
@@ -43,8 +47,8 @@ from ..errors import SolverError
 
 __all__ = [
     "FAULTS_ENV", "FaultPlan", "InjectedFault", "active", "clear",
-    "corrupt_bytes", "ignores_cancel", "install", "injected", "maybe_crash",
-    "maybe_delay", "maybe_hang", "maybe_raise",
+    "corrupt_bytes", "flips_unsat", "ignores_cancel", "install", "injected",
+    "maybe_crash", "maybe_delay", "maybe_hang", "maybe_raise",
 ]
 
 #: Environment variable holding an ambient fault-plan spec.
@@ -75,6 +79,7 @@ class FaultPlan:
     corrupt_cache: float = 0.0
     arm_hang: float = 0.0
     cancel_ignored: float = 0.0
+    flip_unsat: float = 0.0
     delay_seconds: float = 0.005
     hang_seconds: float = 30.0
     max_triggers: int | None = None
@@ -213,6 +218,15 @@ def ignores_cancel(plan: FaultPlan | None, key: str, salt: int = 0) -> bool:
     """Whether this arm should run with its cancel token disconnected."""
     return plan is not None and plan.decide("arm.cancel_ignored", key, salt,
                                             plan.cancel_ignored)
+
+
+def flips_unsat(plan: FaultPlan | None, key: str, salt: int = 0) -> bool:
+    """Whether this solve should lie and report a satisfiable query as
+    UNSAT.  The flipped answer carries no derivation of the empty clause,
+    so a certified run rejects it; an uncertified run reports a false
+    VERIFIED — the gap the certification tests demonstrate."""
+    return plan is not None and plan.decide("solver.flip_unsat", key, salt,
+                                            plan.flip_unsat)
 
 
 def corrupt_bytes(plan: FaultPlan | None, key: str, data: bytes) -> bytes:

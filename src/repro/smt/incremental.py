@@ -40,12 +40,14 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from . import faults
 from .arrays import ArrayEliminator
 from .bitblast import BitBlaster
 from .cnf import ClauseDB, GateBuilder
 from .model import Model
 from .preprocess import Preprocessor
 from .sat import SATConfig, SATResult, SATSolver, STAT_COUNTER_KEYS
+from .sat.proof import ProofLog, check_proof
 from .simplify import harvest_facts, simplify
 from .solver import CheckResult
 from .substitute import evaluate
@@ -100,8 +102,8 @@ def solve_group(prefix: Sequence[Term],
                 validate_models: bool = False,
                 originals: Sequence[Sequence[Term]] | None = None,
                 sat_config: SATConfig | None = None,
-                cancel: Callable[[], bool] | None = None
-                ) -> list[GroupResult]:
+                cancel: Callable[[], bool] | None = None,
+                certify: bool = False) -> list[GroupResult]:
     """Solve ``prefix + residuals[i]`` for every ``i`` incrementally.
 
     Verdicts are identical to running the one-shot facade on each
@@ -112,10 +114,43 @@ def solve_group(prefix: Sequence[Term],
     polled before each member solve and inside the CDCL loop — on
     cancellation the remaining members answer UNKNOWN with
     ``stats["cancelled"]`` set (and no budget axis).
+
+    With ``certify`` the group CNF and every derivation are logged to one
+    shared DRAT proof; each member's UNSAT is re-checked against the log
+    at that point, with the negated failed-assumption set as the claimed
+    clause (the assumption-core proof).  A rejected check downgrades that
+    member — and only that member — to UNKNOWN with
+    ``stats["certify"]["rejected"]`` set.
     """
     n = len(residuals)
     setup_start = time.monotonic()
     results: list[GroupResult | None] = [None] * n
+    log = ProofLog() if certify else None
+
+    def term_unsat(stats: dict) -> GroupResult:
+        # A term-level FALSE certifies trivially (no SAT layer involved).
+        if certify:
+            stats["certify"] = {"checked": 1, "rejected": 0, "trivial": 1,
+                                "steps": 0, "axioms": 0, "verified": 0,
+                                "time": 0.0}
+        return CheckResult.UNSAT, None, stats
+
+    def cnf_unsat_maker():
+        """Maker for group-wide CNF-level UNSAT (root conflict): check the
+        empty clause once, share the outcome across all open members."""
+        if log is None:
+            return _unsat
+        t0 = time.monotonic()
+        res = check_proof(log)
+        cert = {"checked": 1, "rejected": 0 if res.ok else 1, "trivial": 0,
+                "steps": res.steps, "axioms": res.axioms,
+                "verified": res.verified, "time": time.monotonic() - t0}
+        if res.ok:
+            return lambda stats: (CheckResult.UNSAT, None,
+                                  dict(stats, certify=dict(cert)))
+        cert["reason"] = res.reason
+        return lambda stats: (CheckResult.UNKNOWN, None,
+                              dict(stats, certify=dict(cert)))
 
     # ---- term-level simplification (shared caches across the group) ------
     scache: dict[Term, Term] = {}
@@ -145,12 +180,12 @@ def solve_group(prefix: Sequence[Term],
 
     prefix_w = [t for t in simp(prefix) if t is not TRUE]
     if any(t is FALSE for t in prefix_w):
-        return finish_all(_unsat)
+        return finish_all(term_unsat)
     residuals_w = []
     for i in range(n):
         rw = [t for t in simp(residuals[i]) if t is not TRUE]
         if any(t is FALSE for t in rw):
-            results[i] = _unsat(dict(base_stats, time=0.0, conflicts=0))
+            results[i] = term_unsat(dict(base_stats, time=0.0, conflicts=0))
             rw = []
         residuals_w.append(rw)
     simplify_time = time.monotonic() - setup_start
@@ -171,7 +206,7 @@ def solve_group(prefix: Sequence[Term],
     flat_p, cons_p = eliminator.extend(prefix_w)
     prefix_flat = post_simp(flat_p + cons_p)
     if any(t is FALSE for t in prefix_flat):
-        return finish_all(_unsat)
+        return finish_all(term_unsat)
 
     forks: list[ArrayEliminator | None] = [None] * n
     flats: list[list[Term]] = [[] for _ in range(n)]
@@ -182,7 +217,7 @@ def solve_group(prefix: Sequence[Term],
         flat_i, cons_i = fork.extend(residuals_w[i])
         fi = post_simp(flat_i + cons_i)
         if any(t is FALSE for t in fi):
-            results[i] = _unsat(dict(base_stats, time=0.0, conflicts=0))
+            results[i] = term_unsat(dict(base_stats, time=0.0, conflicts=0))
             continue
         forks[i] = fork
         flats[i] = fi
@@ -196,6 +231,8 @@ def solve_group(prefix: Sequence[Term],
     # templates land in the clause arena with no intermediate copy.  The
     # preprocessing path still needs the raw CNF in a ClauseDB.
     backend = ClauseDB() if preprocess else SATSolver(sat_config)
+    if log is not None and not preprocess:
+        backend.attach_proof(log)  # type: ignore[union-attr]
     bb = BitBlaster(GateBuilder(backend))
     for t in prefix_flat:
         bb.assert_term(t)
@@ -216,17 +253,24 @@ def solve_group(prefix: Sequence[Term],
     if preprocess:
         db: ClauseDB = backend  # type: ignore[assignment]
         frozen = [0] + [g >> 1 for g in guards if g is not None]
-        pre = Preprocessor(db.num_vars, db.clauses, frozen).run()
+        if log is not None:
+            log.extend_axioms(db.clauses)
+            if not db.ok:
+                log.add_axiom(())  # the DB drops an empty input clause
+        pre = Preprocessor(db.num_vars, db.clauses, frozen,
+                           proof=log).run()
         if not pre.ok:
-            return finish_all(_unsat)
+            return finish_all(cnf_unsat_maker())
         sat = SATSolver(sat_config)
+        if log is not None:
+            sat.attach_proof(log, adopt=True)
         sat.new_vars(db.num_vars)
         sat.add_clauses(pre.output_clauses())
     else:
         sat = backend  # type: ignore[assignment]
     preprocess_time = time.monotonic() - pp_start
     if not sat.ok:
-        return finish_all(_unsat)
+        return finish_all(cnf_unsat_maker())
 
     open_count = max(1, sum(1 for r in results if r is None))
     setup_time = time.monotonic() - setup_start
@@ -278,12 +322,31 @@ def solve_group(prefix: Sequence[Term],
                         conflict_budget=conflict_budgets[i],
                         assumptions=assumptions,
                         cancel=cancel)
+        if res is SATResult.SAT and faults.flips_unsat(
+                faults.active(), f"group:{sat.num_vars}", salt=i):
+            res = SATResult.UNSAT  # the lying-solver fault
         stats["sat_time"] = time.monotonic() - solve_start
         for key in STAT_COUNTER_KEYS:
             stats[key] = sat.stats[key] - before.get(key, 0)
         stats["time"] = stats["setup_share"] + stats["sat_time"]
         if res is SATResult.UNSAT:
             stats["assumption_core"] = len(sat.conflict_assumptions)
+            if log is not None:
+                # Assumption-core proof: the claimed clause is the
+                # negation of the failed-assumption set, checked against
+                # the log as it stands after this member's derivations.
+                t0 = time.monotonic()
+                chk = check_proof(
+                    log, tuple(a ^ 1 for a in sat.conflict_assumptions))
+                stats["certify"] = {
+                    "checked": 1, "rejected": 0 if chk.ok else 1,
+                    "trivial": 0, "steps": chk.steps,
+                    "axioms": chk.axioms, "verified": chk.verified,
+                    "time": time.monotonic() - t0}
+                if not chk.ok:
+                    stats["certify"]["reason"] = chk.reason
+                    results[i] = (CheckResult.UNKNOWN, None, stats)
+                    continue
             results[i] = (CheckResult.UNSAT, None, stats)
             continue
         if res is SATResult.UNKNOWN:

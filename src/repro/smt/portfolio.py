@@ -134,7 +134,8 @@ def effective_width(width: int, jobs: int) -> int:
 def run_arm(spec: ArmSpec, terms: Sequence[Term], *,
             timeout: float | None, conflict_budget: int | None,
             do_simplify: bool = True, validate_models: bool = False,
-            cancel: Callable[[], bool] | None = None
+            cancel: Callable[[], bool] | None = None,
+            certify: bool = False
             ) -> tuple[CheckResult, Model | None, dict]:
     """Solve one query with one arm's strategy and CDCL configuration.
 
@@ -144,6 +145,10 @@ def run_arm(spec: ArmSpec, terms: Sequence[Term], *,
     exercises the assumption-literal machinery on a genuinely different
     CNF than the one-shot blast; queries too short to split degrade to
     one-shot.  ``cancel`` reaches the CDCL loop of every strategy.
+
+    With ``certify`` each arm proof-checks its own UNSAT answers; an arm
+    whose proof is rejected answers UNKNOWN, so first-wins never crowns a
+    lying arm — a proof-failing arm is a faulted arm, never a verdict.
     """
     strategy = spec.strategy
     if strategy.startswith("incremental") and len(terms) >= 2:
@@ -154,14 +159,15 @@ def run_arm(spec: ArmSpec, terms: Sequence[Term], *,
             preprocess=strategy.endswith("preprocess"),
             validate_models=validate_models,
             originals=[list(terms)],
-            sat_config=spec.config, cancel=cancel)
+            sat_config=spec.config, cancel=cancel, certify=certify)
         verdict, model, stats = group[0]
     else:
         solver = Solver(timeout=timeout, conflict_budget=conflict_budget,
                         do_simplify=do_simplify,
                         validate_models=validate_models,
                         preprocess=strategy.endswith("preprocess"),
-                        sat_config=spec.config, cancel=cancel)
+                        sat_config=spec.config, cancel=cancel,
+                        certify=certify)
         solver.add(*terms)
         verdict = solver.check()
         model = solver.model() if verdict is CheckResult.SAT else None

@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+from .sat.proof import ProofLog
+
 __all__ = ["Preprocessor", "preprocess"]
 
 
@@ -88,9 +90,16 @@ class Preprocessor:
     SIZE_LIMIT = 4000
 
     def __init__(self, num_vars: int, clauses: Iterable[Sequence[int]],
-                 frozen: Iterable[int] = ()) -> None:
+                 frozen: Iterable[int] = (),
+                 proof: ProofLog | None = None) -> None:
         self.n = num_vars
         self.ok = True
+        # DRAT logging: the owner has already recorded the input clauses as
+        # axioms in ``proof``; this class records its transformations —
+        # strengthened clauses and BVE resolvents as additions (before the
+        # deletion of what they were derived from), pure literals as RAT
+        # unit additions, removed clauses as deletions.
+        self.proof = proof
         self.frozen = bytearray(num_vars)
         for v in frozen:
             self.frozen[v] = 1
@@ -129,7 +138,8 @@ class Preprocessor:
 
     # ------------------------------------------------------------ clause ops
 
-    def _add_clause(self, lits: Sequence[int]) -> None:
+    def _add_clause(self, lits: Sequence[int],
+                    derived: bool = False) -> None:
         seen: set[int] = set()
         out: list[int] = []
         for lit in lits:
@@ -144,6 +154,10 @@ class Preprocessor:
                 continue    # falsified literal: drop
             seen.add(lit)
             out.append(lit)
+        if derived and self.proof is not None:
+            # A derived clause (BVE resolvent) is RUP against its still-
+            # active parents; log the stripped form actually kept.
+            self.proof.add(tuple(out))
         if not out:
             self.ok = False
             return
@@ -159,10 +173,12 @@ class Preprocessor:
         self.sigs.append(sig)
         self._dirty.add(cid)
 
-    def _delete_clause(self, cid: int) -> None:
+    def _delete_clause(self, cid: int, log: bool = True) -> None:
         clause = self.clauses[cid]
         if clause is None:
             return
+        if log and self.proof is not None:
+            self.proof.delete(tuple(clause))
         for lit in clause:
             self.occ[lit].discard(cid)
         self.clauses[cid] = None
@@ -170,13 +186,21 @@ class Preprocessor:
     def _remove_literal(self, cid: int, lit: int) -> None:
         clause = self.clauses[cid]
         assert clause is not None
+        if self.proof is not None:
+            # Log the shortened clause before retiring the version it was
+            # derived through (the derivation propagates through the old
+            # clause, so the addition must precede the deletion).
+            self.proof.add(tuple(l for l in clause if l != lit))
+            self.proof.delete(tuple(clause))
         clause.remove(lit)
         self.occ[lit].discard(cid)
         if not clause:
             self.ok = False
         elif len(clause) == 1:
             self._units.append(clause[0])
-            self._delete_clause(cid)
+            # The surviving unit was just logged as an addition; only drop
+            # the clause from the in-memory index.
+            self._delete_clause(cid, log=False)
         else:
             self._dirty.add(cid)
 
@@ -216,6 +240,11 @@ class Preprocessor:
             self.eliminated[var] = 1
             self.stack.append(("pure", lit))
             self.stats["pp_pures"] += 1
+            if self.proof is not None:
+                # A pure literal's unit is a RAT addition on that literal
+                # (no active clause holds the negation); it must be logged
+                # before its satisfied clauses are retired.
+                self.proof.add((lit,))
             for cid in list(self.occ[lit]):
                 self._delete_clause(cid)
             changed = True
@@ -309,10 +338,14 @@ class Preprocessor:
         self.eliminated[var] = 1
         self.stack.append(("elim", var, saved))
         self.stats["pp_eliminated"] += 1
-        for cid in list(pos_ids) + list(neg_ids):
-            self._delete_clause(cid)
+        # Resolvents are RUP only while their parents are alive: add them
+        # first, then retire the parents.  Resolvents never mention ``var``,
+        # so the parent occurrence sets are unchanged by the additions.
+        doomed = list(pos_ids) + list(neg_ids)
         for r in resolvents:
-            self._add_clause(r)
+            self._add_clause(r, derived=True)
+        for cid in doomed:
+            self._delete_clause(cid)
         return True
 
     def _bve_pass(self) -> bool:

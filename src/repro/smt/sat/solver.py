@@ -74,6 +74,7 @@ from heapq import heapify, heappush, heappop
 from typing import Callable, Iterable, Iterator
 
 from .luby import luby
+from .proof import ProofLog
 from ...errors import SolverError
 
 __all__ = ["SATSolver", "SATResult", "SATConfig", "RESTART_SCHEDULES",
@@ -130,6 +131,13 @@ class SATConfig:
         Enables periodic vivification and on-the-fly subsumption of
         learned clauses.  ``PUGPARA_INPROCESS=0`` in the environment
         overrides this to False process-wide (the differential CI axis).
+    certify:
+        Emit a DRAT-style proof log (:class:`repro.smt.sat.proof.ProofLog`
+        at :attr:`SATSolver.proof`): every clause received is recorded as
+        an axiom, every learned/vivified clause as an addition, every
+        reduction/subsumption kill as a deletion.  Logging never changes
+        the search; a caller that attaches a shared log via
+        :meth:`SATSolver.attach_proof` takes precedence over this flag.
     """
     var_decay: float = 0.95
     clause_decay: float = 0.999
@@ -140,6 +148,7 @@ class SATConfig:
     seed: int | None = None
     random_freq: float = 0.0
     inprocess: bool = True
+    certify: bool = False
 
     def __post_init__(self) -> None:
         if self.restart_schedule not in RESTART_SCHEDULES:
@@ -256,7 +265,23 @@ class SATSolver:
         #: literals the final conflict depends on (empty when the instance
         #: is unsatisfiable regardless of assumptions).
         self.conflict_assumptions: list[int] = []
+        #: DRAT-style proof log (None when certification is off).  When
+        #: ``_proof_adopt`` is set the axioms were logged upstream (e.g. by
+        #: the preprocessor's owner) and the clause loaders must not log
+        #: them again; derived additions and deletions always log.
+        self.proof: ProofLog | None = \
+            ProofLog() if self.config.certify else None
+        self._proof_adopt = False
         self.stats: dict[str, object] = {k: 0 for k in STAT_COUNTER_KEYS}
+
+    def attach_proof(self, log: ProofLog, adopt: bool = False) -> None:
+        """Log this solver's proof into ``log``.  With ``adopt`` the caller
+        has already recorded the input clauses as axioms (the preprocess
+        path), so the loaders skip axiom logging; derived clause additions
+        and deletions are recorded either way.  Call before adding
+        clauses."""
+        self.proof = log
+        self._proof_adopt = adopt
 
     # ------------------------------------------------------------------ setup
 
@@ -306,6 +331,9 @@ class SATSolver:
             return False
         if self.trail_lim:
             raise SolverError("clauses may only be added at decision level 0")
+        if self.proof is not None and not self._proof_adopt:
+            lits = list(lits)
+            self.proof.axioms.append(tuple(lits))
         assigns = self.assigns
         nv2 = 2 * self.num_vars
         out: list[int] = []
@@ -340,9 +368,14 @@ class SATSolver:
         arena = self.arena
         watches = self.watches
         clean = self._add_clause_clean
+        plog = self.proof if self.proof is not None and \
+            not self._proof_adopt else None
         for lits in clause_iter:
             if not self.ok:
                 return False
+            if plog is not None:
+                lits = list(lits)
+                plog.axioms.append(tuple(lits))
             out: list[int] | None = []
             for lit in lits:
                 v = assigns[lit >> 1]
@@ -399,8 +432,12 @@ class SATSolver:
         plus two watcher entries per clause."""
         arena = self.arena
         watches = self.watches
+        plog = self.proof if self.proof is not None and \
+            not self._proof_adopt else None
         n_added = 0
         for out in clause_iter:
+            if plog is not None:
+                plog.axioms.append(tuple(out))
             off = len(arena)
             arena.append(len(out))
             arena.append(0)
@@ -427,6 +464,11 @@ class SATSolver:
         """
         arena = self.arena
         watches = self.watches
+        if self.proof is not None and not self._proof_adopt:
+            p = 0
+            for n in sizes:
+                self.proof.axioms.append(tuple(flat[p:p + n]))
+                p += n
         off = len(arena)
         pos = 0
         for n in sizes:
@@ -766,6 +808,8 @@ class SATSolver:
         arena = self.arena
         size = arena[off]
         base = off + 2
+        if self.proof is not None:
+            self.proof.delete(tuple(arena[base: base + size]))
         for wl in (self.watches[arena[base] ^ 1],
                    self.watches[arena[base + 1] ^ 1]):
             for i in range(0, len(wl), 2):
@@ -949,6 +993,10 @@ class SATSolver:
         if len(new_lits) >= size:
             return True
         old_lbd = arena[off + 1]
+        if self.proof is not None:
+            # The shortened clause may have been derived *through* the old
+            # clause, so its addition must precede the old clause's deletion.
+            self.proof.add(tuple(new_lits))
         self._kill_clause(off)
         self.stats["vivified"] += 1
         self.stats["vivify_lits"] += size - len(new_lits)
@@ -1119,6 +1167,8 @@ class SATSolver:
                     return SATResult.UNSAT
                 learned, bt_level, lbd = self._analyze(conflict)
                 self._backtrack(bt_level)
+                if self.proof is not None:
+                    self.proof.add(tuple(learned))
                 if len(learned) == 1:
                     self._enqueue(learned[0], -1)
                 else:

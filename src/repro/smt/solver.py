@@ -25,12 +25,14 @@ import time
 from enum import Enum
 from typing import Callable
 
+from . import faults
 from .arrays import eliminate_arrays
 from .bitblast import BitBlaster
 from .cnf import ClauseDB, GateBuilder
 from .model import Model
 from .preprocess import Preprocessor
 from .sat import SATConfig, SATSolver, STAT_COUNTER_KEYS
+from .sat.proof import ProofLog, check_proof
 from .simplify import simplify_all
 from .sorts import ArraySort
 from .substitute import evaluate
@@ -75,6 +77,14 @@ class Solver:
         the CDCL search loop; when it returns True the check abandons
         work and answers ``UNKNOWN`` with ``stats["cancelled"]`` set
         (never a budget axis — cancellation is not exhaustion).
+    certify:
+        Require a checked DRAT proof for every UNSAT answer: the SAT
+        layer logs its derivation and the independent checker
+        (:func:`repro.smt.sat.proof.check_proof`) re-validates it.  A
+        rejected proof downgrades the answer to ``UNKNOWN`` with
+        ``stats["certify"]["rejected"]`` set — a claim that cannot be
+        certified is never reported as UNSAT.  Term-level-FALSE short
+        circuits certify trivially (no SAT layer involved).
     """
 
     def __init__(self, timeout: float | None = None,
@@ -83,7 +93,8 @@ class Solver:
                  validate_models: bool = False,
                  preprocess: bool = False,
                  sat_config: SATConfig | None = None,
-                 cancel: Callable[[], bool] | None = None) -> None:
+                 cancel: Callable[[], bool] | None = None,
+                 certify: bool = False) -> None:
         self.timeout = timeout
         self.conflict_budget = conflict_budget
         self.do_simplify = do_simplify
@@ -91,6 +102,7 @@ class Solver:
         self.preprocess = preprocess
         self.sat_config = sat_config
         self.cancel = cancel
+        self.certify = certify
         self.assertions: list[Term] = []
         self._model: Model | None = None
         self.stats: dict[str, object] = {}
@@ -123,6 +135,7 @@ class Solver:
         self.stats["simplify_time"] = time.monotonic() - start
         work = [t for t in work if t is not TRUE]
         if any(t is FALSE for t in work):
+            self._certify_trivial()
             self._finish(start, conflicts=0)
             return CheckResult.UNSAT
         if not work:
@@ -138,6 +151,7 @@ class Solver:
             flat = simplify_all(flat)
             flat = [t for t in flat if t is not TRUE]
             if any(t is FALSE for t in flat):
+                self._certify_trivial()
                 self._finish(start, conflicts=0)
                 return CheckResult.UNSAT
         self.stats["array_time"] = time.monotonic() - elim_start
@@ -146,10 +160,14 @@ class Solver:
 
         blast_start = time.monotonic()
         pre = None
+        log = ProofLog() if self.certify else None
         if self.preprocess:
             bb = BitBlaster(GateBuilder(ClauseDB()))
         else:
-            bb = BitBlaster(GateBuilder(SATSolver(self.sat_config)))
+            core = SATSolver(self.sat_config)
+            if log is not None:
+                core.attach_proof(log)
+            bb = BitBlaster(GateBuilder(core))
         for t in flat:
             bb.assert_term(t)
         self.stats["blast_time"] = time.monotonic() - blast_start
@@ -158,10 +176,17 @@ class Solver:
         if self.preprocess:
             db = bb.gb.sat
             pp_start = time.monotonic()
-            pre = Preprocessor(db.num_vars, db.clauses, [0]).run()
+            if log is not None:
+                log.extend_axioms(db.clauses)
+                if not db.ok:
+                    log.add_axiom(())  # the DB drops an empty input clause
+            pre = Preprocessor(db.num_vars, db.clauses, [0],
+                               proof=log).run()
             self.stats["preprocess_time"] = time.monotonic() - pp_start
             self.stats.update(pre.stats)
             sat = SATSolver(self.sat_config)
+            if log is not None:
+                sat.attach_proof(log, adopt=True)
             sat.new_vars(db.num_vars)
             if db.ok and pre.ok:
                 sat.add_clauses(pre.output_clauses())
@@ -174,16 +199,23 @@ class Solver:
         if not sat.ok:
             self._finish(start, conflicts=sat.stats["conflicts"])
             self._merge_sat_stats(sat)
+            if not self._certify_unsat(log):
+                return CheckResult.UNKNOWN
             return CheckResult.UNSAT
 
         sat_start = time.monotonic()
         result = sat.solve(deadline=deadline,
                            conflict_budget=self.conflict_budget,
                            cancel=self.cancel)
+        if result.value == "sat" and faults.flips_unsat(
+                faults.active(), str(sat.num_vars)):
+            result = type(result).UNSAT  # the lying-solver fault
         self.stats["sat_time"] = time.monotonic() - sat_start
         self._finish(start, conflicts=sat.stats["conflicts"])
         self._merge_sat_stats(sat)
         if result.value == "unsat":
+            if not self._certify_unsat(log):
+                return CheckResult.UNKNOWN
             return CheckResult.UNSAT
         if result.value == "unknown":
             return CheckResult.UNKNOWN
@@ -221,6 +253,32 @@ class Solver:
                         f"model validation failed for assertion {t!r}")
         self._model = model
         return CheckResult.SAT
+
+    def _certify_trivial(self) -> None:
+        """A term-level FALSE needs no SAT proof: the contradiction is
+        syntactic, above the certificate's CNF boundary."""
+        if self.certify:
+            self.stats["certify"] = {"checked": 1, "rejected": 0,
+                                     "trivial": 1, "steps": 0, "axioms": 0,
+                                     "verified": 0, "time": 0.0}
+
+    def _certify_unsat(self, log: ProofLog | None,
+                       final: tuple[int, ...] = ()) -> bool:
+        """Re-derive the UNSAT verdict from its proof log; ``False`` means
+        the proof was rejected and the caller must answer UNKNOWN."""
+        if log is None:
+            return True
+        t0 = time.monotonic()
+        res = check_proof(log, final)
+        self.stats["certify"] = {
+            "checked": 1, "rejected": 0 if res.ok else 1, "trivial": 0,
+            "steps": res.steps, "axioms": res.axioms,
+            "verified": res.verified,
+            "time": time.monotonic() - t0,
+        }
+        if not res.ok:
+            self.stats["certify"]["reason"] = res.reason
+        return res.ok
 
     def _finish(self, start: float, conflicts: int) -> None:
         self.stats["time"] = time.monotonic() - start

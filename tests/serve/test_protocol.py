@@ -46,6 +46,8 @@ class TestParseRequest:
         (_races(method="magic"), "method"),
         (_races(method="nonparam"), "races"),
         (_races(bughunt=True), "bughunt"),
+        (_races(certify="yes"), "certify"),
+        (_races(certify=1), "certify"),
         (_races(tenant=""), "tenant"),
         (_races(cbdim=[0, 1]), "cbdim"),
         (_races(cbdim=[1, 1, 1, 1]), "cbdim"),
@@ -79,6 +81,14 @@ class TestCanonicalKey:
         assert canonical_request_key(base)[0] != \
             canonical_request_key(parse_request(_races(timeout=30)))[0]
 
+    def test_certify_splits_the_key(self):
+        # A certified answer carries a proof-checked guarantee an
+        # uncertified one does not; they must never share a response.
+        k1, _ = canonical_request_key(parse_request(_races()))
+        k2, _ = canonical_request_key(
+            parse_request(_races(certify=True)))
+        assert k1 != k2
+
     def test_tenant_does_not_split_the_key(self):
         k1, _ = canonical_request_key(parse_request(_races(tenant="a")))
         k2, _ = canonical_request_key(parse_request(_races(tenant="b")))
@@ -108,6 +118,78 @@ class TestCanonicalKey:
         assert kernel_names  # the kernel's identifiers, in order
         assert len(kernel_names) == len(set(kernel_names))
         assert "tid" not in kernel_names  # reserved builtins excluded
+
+
+class TestReservedShadowing:
+    """Alpha-equivalence around kernels that shadow reserved/builtin
+    spellings (``tid``/``bid``/``bdim``/``gdim``, the dim selectors):
+    reserved spellings never alpha-rename, so a kernel that reuses one as
+    its own identifier conservatively splits the key instead of
+    false-sharing a verdict."""
+
+    def test_renaming_onto_a_builtin_spelling_splits_the_key(self):
+        # odata -> gdim: in the mutated kernel the spelling 'gdim' is
+        # reserved, so it keeps its name while the original's 'odata'
+        # gets an ordinal.  The streams differ; solved separately.
+        shadowing = SRC.replace("odata", "gdim")
+        assert shadowing != SRC
+        k1, _ = canonical_request_key(parse_request(_races()))
+        k2, _ = canonical_request_key(parse_request(_races(shadowing)))
+        assert k1 != k2
+
+    def test_builtin_spellings_never_enter_the_name_lists(self):
+        shadowing = SRC.replace("odata", "tid").replace("idata", "x")
+        _, names = canonical_request_key(
+            parse_request(_races(shadowing)))
+        (kernel_names,) = names
+        assert "tid" not in kernel_names
+        assert "x" not in kernel_names
+        assert "odata" not in kernel_names  # it was renamed away
+
+    def test_two_shadowing_kernels_still_share_when_identical_elsewhere(
+            self):
+        # Both spell the output 'tid'; the remaining identifiers differ
+        # only in spelling, so the two requests are alpha-equivalent.
+        a = SRC.replace("odata", "tid")
+        b = SRC.replace("odata", "tid").replace("idata", "zz_in")
+        k1, names_a = canonical_request_key(parse_request(_races(a)))
+        k2, names_b = canonical_request_key(parse_request(_races(b)))
+        assert k1 == k2
+        # The shadowed spelling is absent from both translation tables,
+        # so a counterexample touching 'tid' passes through verbatim.
+        cex = {"arrays": {"tid": {"0": 3}}, "scalars": {"width": 4}}
+        got = translate_counterexample(cex, names_a, names_b)
+        assert got["arrays"] == {"tid": {"0": 3}}
+
+    def test_pinned_scalar_shadowing_is_conservative(self):
+        # Pinning a scalar reserves its spelling per-request: a kernel
+        # whose own array happens to be spelled like the pinned scalar
+        # cannot alpha-share with one that names it differently.
+        base = SRC
+        shadowing = SRC.replace("odata", "n")
+        k1, _ = canonical_request_key(
+            parse_request(_races(base, scalars={"n": 2})))
+        k2, _ = canonical_request_key(
+            parse_request(_races(shadowing, scalars={"n": 2})))
+        assert k1 != k2
+
+    def test_translation_never_renames_reserved_spellings(self):
+        # Reserved names are absent from both lists by construction, so
+        # translation leaves them alone even when ordinals collide.
+        leader = [["out", "inp"]]
+        follower = [["result", "source"]]
+        cex = {"scalars": {"tid": 1, "bdim": 2, "out": 3},
+               "arrays": {"x": {}, "inp": {"0": 9}}}
+        got = translate_counterexample(cex, leader, follower)
+        assert got["scalars"] == {"tid": 1, "bdim": 2, "result": 3}
+        assert got["arrays"] == {"x": {}, "source": {"0": 9}}
+
+    def test_simultaneous_swap_does_not_cascade(self):
+        # leader (a, b) maps onto follower (b, a): the rename must apply
+        # in one simultaneous pass, not chain a->b->a.
+        got = translate_counterexample(
+            {"scalars": {"a": 1, "b": 2}}, [["a", "b"]], [["b", "a"]])
+        assert got["scalars"] == {"b": 1, "a": 2}
 
 
 class TestTranslation:
