@@ -8,6 +8,12 @@ check into the paper's ``*`` rows (a real, replayable counterexample).
 
 Each builder has signature ``(geometry, scalar_inputs) -> list[Term]`` as
 expected by the checkers.
+
+Builders return plain assertions appended *after* the kernel's encoding,
+never anything that changes the encoding itself — that contract is what
+lets the VC template cache (:mod:`repro.encode.templates`) run symexec
+once per (kernel, check, width) and specialize the result for every
+assumption suite and concretization cell of a configuration sweep.
 """
 
 from __future__ import annotations

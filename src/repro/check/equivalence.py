@@ -23,7 +23,7 @@ from ..smt import (
 )
 from ..smt.sorts import BV
 from .replay import replay_equivalence
-from .result import CheckOutcome, Counterexample, Verdict
+from .result import CheckOutcome, Counterexample, Verdict, record_encode_stats
 
 __all__ = ["check_equivalence", "check_equivalence_nonparam", "ParamOptions"]
 
@@ -81,6 +81,7 @@ def _check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
                          set(tgt_info.global_arrays))
     arrays = {n: ArrayVar(f"np.arr.{n}", width, width) for n in array_names}
 
+    enc_start = time.monotonic()
     try:
         m1 = encode_kernel(src_info, config, inputs, arrays)
         m2 = encode_kernel(tgt_info, config, inputs, arrays)
@@ -89,6 +90,8 @@ def _check_equivalence_nonparam(src_info: KernelInfo, tgt_info: KernelInfo,
         outcome.reason = str(exc)
         outcome.elapsed = time.monotonic() - start
         return outcome
+    record_encode_stats(outcome, symexec_time=time.monotonic() - enc_start,
+                        queries_built=1)
 
     constraints: list[Term] = []
     constraints += m1.assumes + m2.assumes

@@ -35,9 +35,10 @@ from ..smt import (
     And, ArrayVar, BVConst, BVVar, CheckResult, Eq, Implies, Not, Query,
     Select, Term, fresh_scope, fresh_var, solve_all,
 )
+from ..smt.dispatch import default_stream, solve_stream
 from ..smt.sorts import BV
 from .replay import extract_launch, replay_postcondition
-from .result import CheckOutcome, Counterexample, Verdict
+from .result import CheckOutcome, Counterexample, Verdict, record_encode_stats
 
 __all__ = ["check_functional", "check_functional_nonparam",
            "check_functional_param"]
@@ -187,6 +188,7 @@ def _check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
               for n in info.scalar_params}
     arrays = {n: ArrayVar(f"np.arr.{n}", width, width)
               for n in info.global_arrays}
+    enc_start = time.monotonic()
     try:
         model = encode_kernel(info, config, inputs, arrays)
         scope = _ConcreteGhostScope(width, dict(inputs),
@@ -201,19 +203,39 @@ def _check_functional_nonparam(info: KernelInfo, config: LaunchConfig, *,
         outcome.reason = str(exc)
         outcome.elapsed = time.monotonic() - start
         return outcome
+    record_encode_stats(outcome, symexec_time=time.monotonic() - enc_start,
+                        queries_built=len(obligations))
 
     constraints: list[Term] = list(model.assumes)
 
     deadline = start + timeout if timeout else None
     budget = None if deadline is None else max(deadline - time.monotonic(),
                                                0.01)
-    # Per-obligation VCs are independent: one batch through the dispatcher.
-    responses = solve_all(
-        [Query([*constraints, Not(obligation)], timeout=budget)
-         for obligation, _ in obligations],
-        jobs=jobs, cache=cache, policy=policy, incremental=incremental,
-        preprocess=preprocess, portfolio=portfolio, certify=certify)
+    # Per-obligation VCs are independent; streamed by default so the
+    # first verdict lands before the last obligation is encoded, and an
+    # early return below abandons (never solves) the tail.
+    dispatch = dict(jobs=jobs, cache=cache, policy=policy,
+                    incremental=incremental, preprocess=preprocess,
+                    portfolio=portfolio, certify=certify)
+    lat: dict = {}
+    if default_stream():
+        record_encode_stats(outcome, mode="stream")
+        responses = solve_stream(
+            (Query([*constraints, Not(obligation)], timeout=budget)
+             for obligation, _ in obligations), latency=lat, **dispatch)
+    else:
+        solve_start = time.monotonic()
+        responses = solve_all(
+            [Query([*constraints, Not(obligation)], timeout=budget)
+             for obligation, _ in obligations], **dispatch)
+        if responses:
+            record_encode_stats(
+                outcome, mode="batch",
+                first_verdict_s=time.monotonic() - solve_start)
     for response, (obligation, line) in zip(responses, obligations):
+        if "first_verdict_s" in lat:
+            record_encode_stats(outcome, first_verdict_s=lat.pop(
+                "first_verdict_s"))
         result = response.verdict
         outcome.vcs_checked += 1
         outcome.solver_time += response.solver_time
@@ -303,6 +325,7 @@ def _check_functional_param(info: KernelInfo, width: int, *,
     inputs = {n: BVVar(f"in.{n}", width) for n in info.scalar_params}
     input_arrays = {n: ArrayVar(f"arr.{n}", width, width)
                     for n in info.global_arrays}
+    enc_start = time.monotonic()
     try:
         model = extract_model(info, geometry, inputs, hint="f")
         plains = [seg for seg in model.segments if isinstance(seg, PlainModel)]
@@ -319,6 +342,7 @@ def _check_functional_param(info: KernelInfo, width: int, *,
         outcome.reason = str(exc)
         outcome.elapsed = time.monotonic() - start
         return outcome
+    record_encode_stats(outcome, symexec_time=time.monotonic() - enc_start)
 
     assumptions = geometry.base_assumptions() + model.assumes
     if assumption_builder is not None:
@@ -412,6 +436,7 @@ def _check_functional_param(info: KernelInfo, width: int, *,
             obligation = Implies(And(*premises), eval_bool(cond, scope))
             cases = resolve_value(obligation, scope.reads, ctx, ghost,
                                   premises)
+            record_encode_stats(outcome, queries_built=len(cases))
             # Resolution cases are independent VCs: batch them.
             responses = solve_all(
                 [Query([*assumptions, *case.constraints, Not(case.value)],

@@ -18,7 +18,7 @@ from typing import Any, Iterator
 
 __all__ = ["Verdict", "Counterexample", "CheckOutcome", "stopwatch",
            "SOLVER_STAT_KEYS", "format_solver_stats", "jsonable_stats",
-           "outcome_to_json"]
+           "outcome_to_json", "record_encode_stats"]
 
 #: The per-query ``Solver.stats`` counters the checkers accumulate into
 #: ``CheckOutcome.stats["solver"]`` (printed by the CLI's ``--stats``).
@@ -192,6 +192,40 @@ class CheckOutcome:
         return out
 
 
+def record_encode_stats(outcome: "CheckOutcome", *,
+                        symexec_time: float | None = None,
+                        template: str | None = None,
+                        queries_built: int | None = None,
+                        mode: str | None = None,
+                        first_verdict_s: float | None = None) -> None:
+    """Populate ``stats["encode"]`` — the front-end's side of the ledger.
+
+    ``--stats`` and the serve response body have always shown where
+    *solving* time went; this block finally makes the encode/solve split
+    observable: symbolic-execution time, whether the VC template cache
+    answered (``template`` is ``"hit"``, ``"miss"``, or ``"off"``),
+    dispatch mode (``"stream"``/``"batch"``) with the time to the first
+    verdict, and the interned-DAG health counters.
+    """
+    from ..smt.terms import intern_stats
+    enc = outcome.stats.setdefault("encode", {})
+    if symexec_time is not None:
+        enc["symexec_time"] = enc.get("symexec_time", 0.0) + symexec_time
+    if template is not None:
+        enc["template"] = template
+        if template == "hit":
+            enc["template_hits"] = enc.get("template_hits", 0) + 1
+        elif template == "miss":
+            enc["template_misses"] = enc.get("template_misses", 0) + 1
+    if queries_built is not None:
+        enc["queries_built"] = enc.get("queries_built", 0) + queries_built
+    if mode is not None:
+        enc["mode"] = mode
+    if first_verdict_s is not None:
+        enc["first_verdict_s"] = first_verdict_s
+    enc["interned"] = intern_stats()
+
+
 def format_solver_stats(outcome: "CheckOutcome") -> str:
     """Human-readable rendering of the accumulated solver statistics."""
     agg = outcome.stats.get("solver")
@@ -227,6 +261,27 @@ def format_solver_stats(outcome: "CheckOutcome") -> str:
                 "time"):
         if key in agg:
             lines.append(f"  {key:<12} {agg[key]:.3f}s")
+    enc = outcome.stats.get("encode")
+    if enc:
+        lines.append("encode:")
+        if "symexec_time" in enc:
+            tpl = enc.get("template")
+            lines.append(f"  symexec      {enc['symexec_time']:.3f}s"
+                         + (f"  (template: {tpl})" if tpl else ""))
+        if enc.get("template_hits") or enc.get("template_misses"):
+            lines.append(f"  templates    hits: {enc.get('template_hits', 0)}"
+                         f", misses: {enc.get('template_misses', 0)}")
+        if enc.get("queries_built"):
+            lines.append(f"  vcs built    {enc['queries_built']}")
+        if "first_verdict_s" in enc:
+            lines.append(f"  1st verdict  {enc['first_verdict_s']:.3f}s"
+                         + (f"  ({enc['mode']})" if enc.get("mode")
+                            else ""))
+        interned = enc.get("interned")
+        if interned:
+            lines.append(f"  interning    {interned.get('live', 0)} live "
+                         f"nodes  (hits: {interned.get('hits', 0)}, "
+                         f"misses: {interned.get('misses', 0)})")
     res = outcome.stats.get("resilience")
     if res:
         lines.append("resilience:")

@@ -59,6 +59,17 @@ exit codes:
   3  inconclusive: budget exhausted (T.O), unconfirmed candidate
      counterexample, or unsupported kernel
   4  internal error
+
+front-end environment knobs (defaults in parentheses):
+  PUGPARA_TEMPLATES     cross-config VC template cache (1); 0 re-runs
+                        symbolic execution for every cell
+  PUGPARA_TEMPLATE_DIR  sharded on-disk template store directory (unset:
+                        in-memory only; repro.serve sets its own)
+  PUGPARA_STREAM        encode/solve pipelining (1); 0 restores batch
+                        solve_all semantics
+  PUGPARA_STREAM_CHUNK  queries per streamed chunk (max(4, 2*jobs))
+  PUGPARA_INTERN        compound-term hash-consing (1); 0 disables DAG
+                        sharing (leaves stay interned); diagnostic only
 """
 
 

@@ -12,6 +12,14 @@ means ``!= 0``; any boolean operator used as a value yields 0/1.
 ``eval_bool`` avoids the 0/1 round-trip when the consumer wants a Bool term
 (guards, postconditions), which keeps guards in the clean ``And``/``ULt``
 vocabulary the paper's formulas use.
+
+Terms are hash-consed (:mod:`repro.smt.terms`), so evaluating the same
+subexpression under the same bindings — tid arithmetic repeated across
+statements, a loop bound referenced in every guard — constructs each
+node once and returns shared DAG nodes thereafter.  Determinism of this
+translation (same AST + same ``fresh_scope`` ⇒ the same interned terms)
+is also what makes the cross-configuration VC templates
+(:mod:`repro.encode.templates`) exact rather than approximate.
 """
 
 from __future__ import annotations

@@ -44,7 +44,9 @@ from ..smt import (
     Term, fresh_scope, solve_all, solve_query, substitute,
 )
 from ..check.replay import extract_launch, replay_equivalence
-from ..check.result import CheckOutcome, Counterexample, Verdict
+from ..check.result import (
+    CheckOutcome, Counterexample, Verdict, record_encode_stats,
+)
 from .ca import KernelModel, LoopModel, PlainModel, extract_model
 from .geometry import Geometry, ThreadInstance
 from .loops import align as align_spaces
@@ -218,8 +220,10 @@ def _check(src_info: KernelInfo, tgt_info: KernelInfo, width: int,
     input_arrays = {name: ArrayVar(f"arr.{name}", width, width)
                     for name in array_names}
 
+    enc_start = time.monotonic()
     src = extract_model(src_info, geometry, inputs, hint="s")
     tgt = extract_model(tgt_info, geometry, inputs, hint="t")
+    record_encode_stats(outcome, symexec_time=time.monotonic() - enc_start)
 
     assumptions = geometry.base_assumptions()
     assumptions += src.assumes + tgt.assumes

@@ -183,6 +183,7 @@ class Server:
             counts[verdict] = counts.get(verdict, 0) + 1
             if body.get("certified"):
                 self.stats["certified"] += 1
+            self._note_encode(body)
         elif body["status"] == "usage":
             body["exit_code"] = 2
             self.stats["usage_errors"] += 1
@@ -190,6 +191,27 @@ class Server:
             body["exit_code"] = 4
             self.stats["internal_errors"] += 1
         return status, body
+
+    def _note_encode(self, body: dict) -> None:
+        """Fold one response's ``stats.encode`` block into the server-wide
+        ``/v1/stats`` counters (template hit rate, symexec spend) — the
+        serving-level view of how much front-end work the shared VC
+        template store is absorbing across tenants."""
+        stats = body.get("stats")
+        enc = stats.get("encode") if isinstance(stats, dict) else None
+        if not isinstance(enc, dict):
+            return
+        agg = self.stats.setdefault(
+            "encode", {"template_hits": 0, "template_misses": 0,
+                       "symexec_time": 0.0})
+        try:
+            agg["template_hits"] += int(enc.get("template_hits", 0) or 0)
+            agg["template_misses"] += int(enc.get("template_misses", 0)
+                                          or 0)
+            agg["symexec_time"] += float(enc.get("symexec_time", 0.0)
+                                         or 0.0)
+        except (TypeError, ValueError):
+            pass
 
     @property
     def active(self) -> int:
@@ -214,6 +236,9 @@ class Server:
                 info["cache"]["migrated"] = self.cache_report["migrated"]
                 info["cache"]["quarantined_at_startup"] = \
                     self.cache_report["quarantined"]
+            from .session import template_dir_of
+            info["templates"] = scan_shards(
+                template_dir_of(self.session.cache_dir))
         return info
 
     # ------------------------------------------------------ HTTP transport

@@ -31,10 +31,13 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import asdict
 from typing import Any
 
+import os
+
 from ..check import (
     check_equivalence, check_functional, check_races, suite_assumptions,
 )
 from ..check.result import outcome_to_json
+from ..encode.templates import TemplateStore, set_default_template_store
 from ..errors import ParseError, ReproError, SortError, TypeCheckError
 from ..lang import LaunchConfig, check_kernel, parse_kernel
 from ..param.equivalence import ParamOptions
@@ -42,15 +45,30 @@ from ..smt.dispatch import set_default_cache, teardown_pool, worker_init
 from ..smt.qcache import QueryCache
 from .protocol import CheckRequest
 
-__all__ = ["Session", "execute_check", "serve_worker_init"]
+__all__ = ["Session", "execute_check", "serve_worker_init",
+           "template_dir_of"]
+
+
+def template_dir_of(cache_dir: str) -> str:
+    """The VC-template shard tree nested inside the server's cache
+    directory.  The name is not two hex characters, so the query-cache
+    shard scanner and the flat-layout migrator never look inside it."""
+    return os.path.join(cache_dir, "templates")
 
 
 def serve_worker_init(rlimit_mb: int | None,
                       cache_dir: str | None) -> None:
-    """Warm one worker: dispatcher hygiene plus the shared cache."""
+    """Warm one worker: dispatcher hygiene plus the shared caches.
+
+    Both long-lived stores point at the server's sharded directory — the
+    canonical query cache at its root, the VC template store at its
+    ``templates/`` subtree — so every worker of every server process on
+    one directory shares solved queries *and* front-end encodings."""
     worker_init(rlimit_mb)
     if cache_dir:
         set_default_cache(QueryCache(disk_dir=cache_dir))
+        set_default_template_store(
+            TemplateStore(disk_dir=template_dir_of(cache_dir)))
 
 
 def _concretize(req: CheckRequest) -> dict | None:
@@ -152,6 +170,8 @@ class Session:
                 initargs=(rlimit_mb, cache_dir))
         elif cache_dir:
             set_default_cache(QueryCache(disk_dir=cache_dir))
+            set_default_template_store(
+                TemplateStore(disk_dir=template_dir_of(cache_dir)))
 
     async def run(self, req: CheckRequest) -> dict:
         """Solve one request on a warm worker; a dead pool is rebuilt
@@ -176,3 +196,4 @@ class Session:
             teardown_pool(self._pool)
             self._pool = None
         set_default_cache(None)
+        set_default_template_store(None)

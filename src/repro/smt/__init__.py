@@ -31,7 +31,8 @@ from .terms import (
     ULt, Var, Xor, ZeroExt, collect, fresh_name, fresh_scope, fresh_var,
     iter_dag, term_size,
 )
-from .terms import common_prefix_length, fingerprint, prefix_fingerprint
+from .terms import (common_prefix_length, fingerprint, intern_stats,
+                    interning_enabled, prefix_fingerprint)
 from .simplify import simplify, simplify_all
 from .substitute import evaluate, substitute
 from .printer import script_smtlib, to_smtlib, to_str
@@ -47,8 +48,9 @@ from .portfolio import (
 )
 from .dispatch import (
     Query, QueryResult, default_cache, default_certify, default_incremental,
-    default_jobs, default_portfolio, default_preprocess, resolve_cache,
-    solve_all, solve_query,
+    default_jobs, default_portfolio, default_preprocess, default_stream,
+    default_stream_chunk, resolve_cache, solve_all, solve_query,
+    solve_stream,
 )
 from .resilience import ESCALATIONS, RetryPolicy, default_policy
 from .faults import FaultPlan, InjectedFault
@@ -64,7 +66,8 @@ __all__ = [
     "Or", "Select", "SGe", "SGt", "SignExt", "SLe", "SLt", "Store", "Term",
     "UGe", "UGt", "ULe", "ULt", "Var", "Xor", "ZeroExt", "collect",
     "common_prefix_length", "fingerprint", "fresh_name", "fresh_scope",
-    "fresh_var", "iter_dag", "prefix_fingerprint", "term_size",
+    "fresh_var", "intern_stats", "interning_enabled", "iter_dag",
+    "prefix_fingerprint", "term_size",
     # transforms
     "simplify", "simplify_all", "substitute", "evaluate",
     # printing
@@ -83,8 +86,9 @@ __all__ = [
     # caching + dispatch
     "QueryCache", "canonical_key", "canonicalize",
     "Query", "QueryResult", "default_cache", "default_incremental",
-    "default_jobs", "default_preprocess", "resolve_cache", "solve_all",
-    "solve_query",
+    "default_jobs", "default_preprocess", "default_stream",
+    "default_stream_chunk", "resolve_cache", "solve_all",
+    "solve_query", "solve_stream",
     # resilience
     "ESCALATIONS", "RetryPolicy", "default_policy",
     "FaultPlan", "InjectedFault",

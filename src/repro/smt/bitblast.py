@@ -4,7 +4,9 @@ Each bit-vector term maps to a list of SAT literals, LSB first.  Circuits are
 the standard ones — ripple-carry adders, shift-add multipliers, barrel
 shifters, borrow-chain comparators, restoring division — built on the gate
 cache of :class:`~repro.smt.cnf.GateBuilder`, so shared subterms share
-circuitry.
+circuitry.  The per-blaster memo tables (``_bool_cache``, ``_bits_cache``)
+are keyed on term identity — hash-consing makes that structural — and each
+DAG node is walked exactly once per blast.
 
 Array terms must have been eliminated (:mod:`repro.smt.arrays`) before
 blasting; encountering one here is a programming error.

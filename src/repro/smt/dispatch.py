@@ -105,7 +105,8 @@ from .terms import Term
 from ..errors import SolverError
 
 __all__ = ["Query", "QueryResult", "solve_query", "solve_all",
-           "default_cache", "default_certify", "default_jobs",
+           "solve_stream", "default_cache", "default_certify",
+           "default_jobs", "default_stream", "default_stream_chunk",
            "resolve_cache", "default_incremental", "default_preprocess",
            "default_portfolio", "set_default_cache", "teardown_pool",
            "worker_init"]
@@ -231,6 +232,39 @@ def default_preprocess() -> bool:
 def default_portfolio() -> int | None:
     """Portfolio width from ``PUGPARA_PORTFOLIO`` (None = off)."""
     return default_width()
+
+
+def default_stream() -> bool:
+    """Whether checkers pipeline encode and solve by default
+    (``PUGPARA_STREAM``; on unless explicitly disabled).
+
+    Streaming changes wall-clock shape only — per-query verdicts are
+    identical to batch mode (the CDCL core is deterministic and each
+    chunk goes through the same prepare/cache/solve path), which the
+    ``frontend`` differential CI job pins.
+    """
+    return _env_flag("PUGPARA_STREAM", True)
+
+
+def default_stream_chunk(jobs: int) -> int:
+    """Queries per streaming chunk (``PUGPARA_STREAM_CHUNK``).
+
+    The default balances pipelining granularity against per-chunk
+    dispatch overhead: enough work to feed every worker twice, never
+    fewer than four queries.  Non-numeric or non-positive values fall
+    back to the default with a warning, mirroring ``PUGPARA_JOBS``.
+    """
+    raw = os.environ.get("PUGPARA_STREAM_CHUNK", "")
+    if raw:
+        try:
+            chunk = int(raw)
+            if chunk >= 1:
+                return chunk
+        except ValueError:
+            pass
+        warnings.warn(f"ignoring invalid PUGPARA_STREAM_CHUNK={raw!r}",
+                      RuntimeWarning, stacklevel=2)
+    return max(4, 2 * jobs)
 
 
 def default_certify() -> bool:
@@ -1542,3 +1576,69 @@ def solve_all(queries: Sequence[Query], *, jobs: int | None = None,
                     tag=prep.query.tag, _model=model)
 
     return [r for r in results if r is not None]
+
+
+def solve_stream(queries, *, jobs: int | None = None,
+                 cache: QueryCache | bool | None = None,
+                 policy: RetryPolicy | None = None,
+                 incremental: bool | None = None,
+                 preprocess: bool | None = None,
+                 portfolio: int | None = None,
+                 certify: bool | None = None,
+                 chunk: int | None = None,
+                 latency: dict | None = None):
+    """Producer/consumer variant of :func:`solve_all`: results stream
+    back in input order while later queries are still being produced.
+
+    ``queries`` may be any iterable (typically a generator that *encodes*
+    each VC on demand); it is pulled ``chunk`` queries at a time, each
+    chunk solved through the full :func:`solve_all` machinery — canonical
+    cache, duplicate folding, retry policy, worker pool, incremental
+    grouping, portfolio racing — and yielded before the next chunk is
+    even pulled.  Two consequences:
+
+    * **time-to-first-verdict drops** from "encode everything, then
+      solve everything" to one chunk's worth of work, which is what a
+      serving deployment feels;
+    * **abandoning the iterator cancels the tail**: a consumer that
+      stops on its first SAT (every checker does) never encodes or
+      solves the queries it no longer needs.
+
+    Per-query verdicts, models, and stats are identical to handing the
+    whole list to :func:`solve_all`: chunking only changes *which*
+    queries share a batch, and batch composition affects wall-clock
+    only (deduplication across chunks still happens through the
+    canonical cache; UNKNOWNs are never cached, so they simply re-solve).
+
+    ``latency`` (optional dict) receives the streaming telemetry:
+    ``first_verdict_s`` — seconds from the first pull to the first
+    yielded result — and ``chunks``.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    if chunk is None:
+        chunk = default_stream_chunk(jobs)
+    start = time.monotonic()
+    first = True
+    chunks = 0
+    it = iter(queries)
+    while True:
+        block: list[Query] = []
+        for query in it:
+            block.append(query)
+            if len(block) >= chunk:
+                break
+        if not block:
+            break
+        chunks += 1
+        if latency is not None:
+            latency["chunks"] = chunks
+        for result in solve_all(block, jobs=jobs, cache=cache,
+                                policy=policy, incremental=incremental,
+                                preprocess=preprocess, portfolio=portfolio,
+                                certify=certify):
+            if first:
+                first = False
+                if latency is not None:
+                    latency["first_verdict_s"] = time.monotonic() - start
+            yield result

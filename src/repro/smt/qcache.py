@@ -145,7 +145,12 @@ def _sort_from_sig(sig: str) -> Sort:
 
 
 def _walk(roots: Sequence[Term]):
-    """Post-order over the distinct DAG nodes of ``roots`` (iterative)."""
+    """Post-order over the distinct DAG nodes of ``roots`` (iterative).
+
+    ``seen`` probes by object identity — terms are hash-consed with the
+    C-slot ``__hash__``/``__eq__`` — so visiting a shared subterm twice
+    costs one pointer comparison, not a structural re-hash; the
+    canonical key below is linear in DAG *nodes*, not tree size."""
     seen: set[Term] = set()
     stack: list[tuple[Term, bool]] = [(r, False) for r in reversed(roots)]
     while stack:

@@ -15,6 +15,11 @@ Composes three layers:
 Simplification is idempotent on its output in all cases exercised by the test
 suite (a property-based test checks this) and is *model-preserving*: it never
 strengthens or weakens a formula.
+
+All passes memoize on DAG node identity (``dict[Term, Term]`` — one
+C-level pointer hash per probe, since :class:`~repro.smt.terms.Term`
+relies on ``object``'s identity semantics), so a shared subterm is
+simplified once per call no matter how many paths reach it.
 """
 
 from __future__ import annotations

@@ -5,6 +5,15 @@ assignments are templates over the symbolic thread id, and each instantiation
 (Section IV-B of the paper) substitutes a fresh thread variable into the
 template.  ``evaluate`` is used for counterexample replay and model
 completion.
+
+Both walks are memoized on DAG node *identity* (terms are hash-consed,
+so a plain ``dict[Term, ...]`` probe is one C-level pointer hash) and
+therefore visit each distinct node once, never once per path.
+``substitute`` additionally prunes whole subtrees through a per-node
+variable-occurrence bloom mask (:func:`var_mask`): a subtree that cannot
+mention any substitution key is returned unchanged without descending —
+the common case when a conditional-assignment template is instantiated
+against a guard that only mentions a few of the kernel's variables.
 """
 
 from __future__ import annotations
@@ -12,11 +21,37 @@ from __future__ import annotations
 from typing import Callable, Mapping
 
 from .sorts import ArraySort, BitVecSort
-from .terms import (FALSE, TRUE, BVConst, Kind, Term, BoolConst)
+from .terms import (FALSE, TRUE, BVConst, Kind, Term, BoolConst, iter_dag)
 from . import terms as T
 from ..errors import SolverError
 
-__all__ = ["substitute", "rebuild", "evaluate"]
+__all__ = ["substitute", "rebuild", "evaluate", "var_mask"]
+
+
+def var_mask(term: Term) -> int:
+    """A 64-bit bloom mask of the variables occurring in ``term``.
+
+    Each ``VAR`` leaf hashes to one of 64 bits by its interning id; a
+    compound node's mask is the union of its children's.  The mask is
+    monotone under the subterm relation — ``s`` a subterm of ``t``
+    implies ``var_mask(s) & ~var_mask(t) == 0`` — which is the only
+    property substitution pruning needs.  False positives (bit
+    collisions) merely forfeit a prune.  Cached on the node's ``_vm``
+    slot; ids are process-local, so masks are too (never serialized).
+    """
+    m = term._vm
+    if m is not None:
+        return m
+    for t in iter_dag(term):
+        if t._vm is None:
+            if t.kind == Kind.VAR:
+                t._vm = 1 << (t.tid & 63)
+            else:
+                acc = 0
+                for a in t.args:
+                    acc |= a._vm
+                t._vm = acc
+    return term._vm
 
 
 _REBUILDERS: dict[Kind, Callable[..., Term]] = {
@@ -72,12 +107,29 @@ def substitute(term: Term, mapping: Mapping[Term, Term]) -> Term:
     """
     if not mapping:
         return term
+    # Union bloom mask of the keys: a subtree whose mask is disjoint
+    # cannot contain any key and passes through untouched.  A key with an
+    # empty mask (no variables — e.g. a constant used as a key) defeats
+    # the test, so pruning is disabled for that call.
+    keymask = 0
+    for k in mapping:
+        km = var_mask(k)
+        if not km:
+            keymask = ~0
+            break
+        keymask |= km
+    if keymask != ~0 and var_mask(term) & keymask == 0:
+        return term
     cache: dict[Term, Term] = dict(mapping)
     # Explicit stack: deep store chains overflow the C stack otherwise.
     stack = [term]
     while stack:
         t = stack[-1]
         if t in cache:
+            stack.pop()
+            continue
+        if keymask != ~0 and t._vm is not None and t._vm & keymask == 0:
+            cache[t] = t
             stack.pop()
             continue
         pending = [a for a in t.args if a not in cache]

@@ -1,9 +1,11 @@
-"""Parallel dispatch: verdict identity, dedup, caching, and budgets."""
+"""Parallel dispatch: verdict identity, dedup, caching, budgets, and
+the streaming (pipelined) mode of ``solve_stream``."""
 
 from repro.smt import (
     BVConst, BVVar, CheckResult, Eq, Query, UGt, ULt,
-    fresh_scope, solve_all, solve_query,
+    fresh_scope, solve_all, solve_query, solve_stream,
 )
+from repro.smt.dispatch import default_stream, default_stream_chunk
 from repro.smt.qcache import QueryCache, canonical_key
 
 
@@ -150,3 +152,76 @@ class TestBudgets:
         res = solve_query(_sat_query("st.a", 2, 9), cache=False)
         assert res.stats.get("time", 0.0) > 0.0
         assert "sat_time" in res.stats
+
+
+class TestSolveStream:
+    def _batch(self, prefix, n=9):
+        out = []
+        for i in range(n):
+            if i % 3 == 1:
+                out.append(_unsat_query(f"{prefix}.u{i}"))
+            else:
+                out.append(_sat_query(f"{prefix}.s{i}", 2, 9))
+        return out
+
+    def test_stream_matches_batch(self):
+        batch = solve_all(self._batch("sm.b"), jobs=1, cache=False)
+        stream = list(solve_stream(self._batch("sm.s"), jobs=1,
+                                   cache=False, chunk=2))
+        assert [r.verdict for r in stream] == [r.verdict for r in batch]
+        for s, b in zip(stream, batch):
+            if s.verdict is CheckResult.SAT:
+                sx = next(iter(s.model().variables()))
+                bx = next(iter(b.model().variables()))
+                assert s.model()[sx] == b.model()[bx]
+
+    def test_input_order_preserved_across_chunks(self):
+        queries = self._batch("so", n=7)
+        want = [r.verdict for r in solve_all(list(queries), jobs=2,
+                                             cache=False)]
+        got = [r.verdict for r in solve_stream(iter(queries), jobs=2,
+                                               cache=False, chunk=3)]
+        assert got == want
+
+    def test_latency_recorded(self):
+        lat: dict = {}
+        results = list(solve_stream(self._batch("sl", n=5), jobs=1,
+                                    cache=False, chunk=2, latency=lat))
+        assert len(results) == 5
+        assert lat["first_verdict_s"] > 0.0
+        assert lat["chunks"] == 3  # ceil(5 / 2)
+
+    def test_abandoning_iterator_stops_producer(self):
+        # The consumer breaking early must leave the producer's tail
+        # un-pulled: lazily generated queries past the live chunk are
+        # never even constructed.
+        built = []
+
+        def gen():
+            for i in range(20):
+                built.append(i)
+                yield _sat_query(f"ab.{i}", 2, 9)
+
+        stream = solve_stream(gen(), jobs=1, cache=False, chunk=2)
+        first = next(stream)
+        assert first.verdict is CheckResult.SAT
+        stream.close()
+        # Only the first chunk (plus nothing beyond it) was built.
+        assert len(built) <= 2
+
+    def test_consumes_generators_lazily(self):
+        got = list(solve_stream(
+            (q for q in self._batch("lz", n=4)), jobs=1, cache=False,
+            chunk=8))
+        assert [r.verdict for r in got] == \
+            [CheckResult.SAT, CheckResult.UNSAT, CheckResult.SAT,
+             CheckResult.SAT]
+
+    def test_defaults(self, monkeypatch):
+        assert default_stream() is True
+        monkeypatch.setenv("PUGPARA_STREAM", "0")
+        assert default_stream() is False
+        monkeypatch.setenv("PUGPARA_STREAM_CHUNK", "12")
+        assert default_stream_chunk(4) == 12
+        monkeypatch.setenv("PUGPARA_STREAM_CHUNK", "not-a-number")
+        assert default_stream_chunk(4) == max(4, 8)

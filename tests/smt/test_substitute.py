@@ -1,12 +1,20 @@
-"""Unit tests for substitution and concrete evaluation."""
+"""Unit tests for substitution and concrete evaluation, plus the
+hypothesis properties the DAG-memoized substituter must preserve:
+substitute-then-simplify is idempotent, and alpha-renaming through
+``substitute`` keeps the query cache's canonical (alpha-invariant) key.
+"""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.smt import (
     And, ArrayVar, BVAdd, BVAshr, BVConst, BVMul, BVSub, BVUDiv, BVURem,
     BVVar, BoolVar, Concat, Eq, Extract, FALSE, Implies, Ite, Not, Or, Select,
-    SignExt, SLt, Store, TRUE, ULt, Xor, ZeroExt, evaluate, substitute,
+    SignExt, SLt, Store, TRUE, ULt, Xor, ZeroExt, evaluate, simplify,
+    substitute,
 )
+from repro.smt.qcache import canonical_key
+from repro.smt.substitute import var_mask
 
 x = BVVar("ux", 8)
 y = BVVar("uy", 8)
@@ -91,3 +99,82 @@ class TestEvaluate:
         t = Ite(ULt(x, y), x, y)  # min
         assert evaluate(t, {x: 3, y: 200}) == 3
         assert evaluate(t, {x: 201, y: 200}) == 200
+
+
+class TestVarMaskPruning:
+    def test_mask_covers_variables(self):
+        t = BVAdd(x, BVConst(1, 8))
+        assert var_mask(t) & var_mask(x) == var_mask(x)
+
+    def test_variable_free_term_has_empty_mask(self):
+        assert var_mask(BVAdd(BVConst(1, 8), BVConst(2, 8))) == 0
+
+    def test_pruned_subtree_returned_unchanged(self):
+        # y does not occur: the bloom prune must return t itself.
+        t = BVAdd(x, BVConst(1, 8))
+        assert substitute(t, {y: BVConst(0, 8)}) is t
+
+
+# -------------------------------------------------- hypothesis properties
+
+_X = BVVar("sp.x", 8)
+_Y = BVVar("sp.y", 8)
+
+
+def _sterms(depth: int):
+    leaf = st.one_of(
+        st.sampled_from([_X, _Y]),
+        st.integers(0, 255).map(lambda v: BVConst(v, 8)))
+    if depth == 0:
+        return leaf
+    sub = _sterms(depth - 1)
+    binop = st.sampled_from([BVAdd, BVSub, BVMul])
+    return st.one_of(
+        leaf,
+        st.tuples(binop, sub, sub).map(lambda t: t[0](t[1], t[2])),
+        st.tuples(sub, sub, sub).map(
+            lambda t: Ite(ULt(t[0], t[1]), t[1], t[2])))
+
+
+@settings(max_examples=200, deadline=None)
+@given(t=_sterms(3), v=st.integers(0, 255))
+def test_substitute_then_simplify_idempotent(t, v):
+    """simplify(substitute(t, σ)) is a fixpoint of both passes: running
+    either again returns the same interned node (the property the
+    identity-keyed memo tables rely on)."""
+    out = simplify(substitute(t, {_X: BVConst(v, 8)}))
+    assert simplify(out) is out
+    assert substitute(out, {_X: BVConst(v, 8)}) is out
+
+
+def _ncterms(depth: int):
+    """Non-commutative operators only: their constructors never reorder
+    operands by ``tid``, so a variable renaming is guaranteed to be
+    structure-preserving and the canonical key must survive it.  (For
+    commutative operators key stability comes from ``fresh_scope``
+    reproducing the *same interned objects*, pinned in
+    tests/smt/test_interning.py.)"""
+    leaf = st.one_of(
+        st.sampled_from([_X, _Y]),
+        st.integers(0, 255).map(lambda v: BVConst(v, 8)))
+    if depth == 0:
+        return leaf
+    sub = _ncterms(depth - 1)
+    binop = st.sampled_from([BVSub, BVUDiv, BVAshr])
+    return st.one_of(
+        leaf,
+        st.tuples(binop, sub, sub).map(lambda t: t[0](t[1], t[2])),
+        st.tuples(sub, sub, sub).map(
+            lambda t: Ite(ULt(t[0], t[1]), t[1], t[2])))
+
+
+@settings(max_examples=200, deadline=None)
+@given(t=_ncterms(3))
+def test_alpha_renaming_preserves_canonical_key(t):
+    """Renaming the free variables consistently through ``substitute``
+    leaves the query cache's alpha-invariant canonical key unchanged,
+    so cache hits survive per-check variable renaming."""
+    fresh = {_X: BVVar("sp.x2", 8), _Y: BVVar("sp.y2", 8)}
+    prop = ULt(t, _X)
+    renamed = substitute(prop, fresh)
+    assert canonical_key([prop]) == canonical_key([renamed])
